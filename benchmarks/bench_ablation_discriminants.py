@@ -1,0 +1,84 @@
+"""Ablation: algorithm-selection discriminants head-to-head.
+
+The paper's conclusion proposes combining FLOP counts with kernel
+performance profiles (§5).  This bench compares, on identical random
+instances:
+
+* min-FLOPs (what Linnea/Armadillo/Julia do — the paper's subject),
+* pure profiled-time selection,
+* the FLOPs×profile hybrid (the paper's conjectured combination),
+* benchmark-sum selection (Experiment 3's predictor as an oracle-ish
+  upper bound).
+
+Expected shape: the hybrid reduces the min-FLOPs miss rate on
+``A Aᵀ B`` (where the paper found FLOPs undependable) without
+requiring per-instance measurement.
+"""
+
+from repro.analysis.selection import selection_quality
+from repro.backends.simulated import SimulatedBackend
+from repro.core.discriminants import (
+    BenchmarkDiscriminant,
+    FlopsProfileHybrid,
+    MinFlopsDiscriminant,
+    ProfiledTimeDiscriminant,
+)
+from repro.core.searchspace import paper_box
+from repro.expressions.registry import get_expression
+from repro.kernels.types import KernelName
+from repro.machine.presets import paper_machine
+from repro.profiles.benchmark import build_all_profiles
+
+
+def test_discriminant_selection_quality(run_once, fig_config):
+    expression = get_expression("aatb")
+    backend = SimulatedBackend(paper_machine(seed=fig_config.seed))
+    box = paper_box(3)
+    n = 120 if fig_config.scale == "quick" else 1000
+
+    def run():
+        axes2 = ((24, 64, 160, 400, 800, 1400),) * 2
+        axes3 = ((24, 64, 160, 400, 800, 1400),) * 3
+        profiles = build_all_profiles(
+            backend,
+            axes_by_kernel={
+                KernelName.GEMM: axes3,
+                KernelName.SYRK: axes2,
+                KernelName.SYMM: axes2,
+            },
+        )
+        discriminants = [
+            MinFlopsDiscriminant(),
+            ProfiledTimeDiscriminant(profiles),
+            FlopsProfileHybrid(profiles, margin=0.5),
+            BenchmarkDiscriminant(backend),
+        ]
+        return [
+            selection_quality(
+                d,
+                backend,
+                expression,
+                box,
+                n_instances=n,
+                threshold=0.10,
+                seed=fig_config.seed + 99,
+            )
+            for d in discriminants
+        ]
+
+    results = run_once(run)
+    print()
+    for quality in results:
+        print(quality.summary())
+
+    by_name = {q.discriminant: q for q in results}
+    flops = by_name["min-flops"]
+    hybrid = next(q for n_, q in by_name.items() if n_.startswith("flops+profile"))
+    bench = by_name["benchmark-sum"]
+
+    # min-FLOPs misses on aatb are the paper's headline (≈10%).
+    assert flops.miss_rate > 0.03
+    # The conjectured hybrid fixes most of them.
+    assert hybrid.miss_rate < flops.miss_rate
+    # The benchmark-sum selector is at least as good as the hybrid.
+    assert bench.miss_rate <= hybrid.miss_rate + 0.02

@@ -1,0 +1,51 @@
+"""Ablation: kernel variant dispatch on/off.
+
+The paper identifies two boundary-transition types: abrupt (internal
+kernel-variant changes) and gradual.  Removing variant dispatch from
+the model must remove the abrupt jumps from kernel efficiency scans
+while keeping the gradual ramps.
+"""
+
+from repro.backends.simulated import SimulatedBackend
+from repro.kernels.types import KernelName
+from repro.machine.presets import no_variants_machine, paper_machine
+from repro.profiles.abrupt import find_abrupt_changes, scan_efficiency
+
+
+def test_variants_create_abrupt_transitions(run_once, fig_config):
+    # Start at 200: below that, the thread-balance staircase (a real,
+    # dispatch-independent mechanism) produces jumps of its own.
+    positions = range(200, 1100, 10)
+
+    def run():
+        default = SimulatedBackend(paper_machine(seed=fig_config.seed))
+        smooth = SimulatedBackend(no_variants_machine(seed=fig_config.seed))
+        results = {}
+        for label, backend in (("default", default), ("no-variants", smooth)):
+            changes = []
+            for kernel, base in (
+                (KernelName.SYRK, (0, 500)),
+                (KernelName.GEMM, (0, 500, 500)),
+                (KernelName.SYMM, (0, 500)),
+            ):
+                series = scan_efficiency(
+                    backend, kernel, base, axis=0, positions=positions
+                )
+                changes += find_abrupt_changes(
+                    series, kernel=kernel, axis=0, threshold=0.08
+                )
+            results[label] = changes
+        return results
+
+    results = run_once(run)
+    print()
+    for label, changes in results.items():
+        print(f"{label}: {len(changes)} abrupt changes")
+        for change in changes:
+            print(
+                f"  {change.kernel.value} axis {change.axis} at "
+                f"{change.position}: {change.before:.3f} -> {change.after:.3f}"
+            )
+
+    assert len(results["default"]) >= 2, "dispatch must create abrupt jumps"
+    assert len(results["no-variants"]) == 0, "no dispatch → only gradual"

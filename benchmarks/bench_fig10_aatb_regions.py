@@ -1,0 +1,24 @@
+"""Regenerates **Figure 10**: region thickness per dimension for
+``A Aᵀ B`` (Experiment 2).
+
+Paper expectation (shape): regions significantly thinner in ``d0``
+than in ``d1``/``d2``; some regions span (nearly) the whole explored
+range in the thick dimensions.
+"""
+
+from repro.figures import fig10
+
+
+def test_fig10_aatb_regions(run_once, fig_config):
+    data = run_once(lambda: fig10.generate(fig_config))
+    print()
+    print(fig10.render(data))
+
+    assert data.n_dims == 3
+    d0, d1, d2 = data.distributions
+    assert d0.thicknesses and d1.thicknesses and d2.thicknesses
+    # The paper's headline asymmetry.
+    assert d0.median < d1.median
+    assert d0.median < d2.median
+    # Thick dimensions approach the full span (1181 at full scale).
+    assert max(d1.max, d2.max) > 600

@@ -1,0 +1,37 @@
+"""Regenerates **Figure 11**: efficiencies of the five ``A Aᵀ B``
+algorithms along three lines (one per dimension).
+
+Paper expectation (shape): inside the regions, the SYRK-based
+Algorithms 1/2 are the cheapest while a GEMM-based algorithm is
+fastest; Algorithms 1/2 (and 3/4) tie in FLOPs.
+"""
+
+from repro.figures import fig11
+
+
+def test_fig11_aatb_traces(run_once, fig_config):
+    data = run_once(lambda: fig11.generate(fig_config))
+    print()
+    print(fig11.render(data))
+
+    assert len(data.lines) == 3
+    assert {line.dim for line in data.lines} == {0, 1, 2}
+    for line in data.lines:
+        assert len(line.traces) == 5
+        by_name = {t.algorithm_name: t for t in line.traces}
+        a1 = by_name["aatb-1:syrk+symm"]
+        a2 = by_name["aatb-2:syrk+copy+gemm"]
+        # Algorithms 1 and 2 have identical FLOP counts: their
+        # "cheapest" flags agree everywhere.
+        for p1, p2 in zip(a1.points, a2.points):
+            assert p1.is_cheapest == p2.is_cheapest
+        # At anomalous positions the cheapest set excludes the fastest.
+        for i, pos in enumerate(line.positions):
+            if pos in line.anomalous_positions:
+                cheapest = {
+                    t.algorithm_name for t in line.traces if t.points[i].is_cheapest
+                }
+                fastest = {
+                    t.algorithm_name for t in line.traces if t.points[i].is_fastest
+                }
+                assert not (cheapest & fastest)

@@ -1,0 +1,24 @@
+"""Regenerates **Figure 1**: GEMM/SYRK/SYMM efficiency at square sizes.
+
+Paper expectation (shape): all kernels ramp from near zero to a high
+plateau; GEMM sits on top at moderate sizes; differences are small but
+noticeable at large sizes.
+"""
+
+from repro.figures import fig1
+from repro.kernels.types import KernelName
+
+
+def test_fig1_kernel_efficiency(run_once, fig_config):
+    data = run_once(lambda: fig1.generate(fig_config))
+    print()
+    print(fig1.render(data))
+
+    # Shape assertions mirroring the paper's Figure 1.
+    for kernel in (KernelName.GEMM, KernelName.SYRK, KernelName.SYMM):
+        series = data.series[kernel]
+        assert series[-1][1] > 0.7, f"{kernel} should plateau high"
+        assert series[0][1] < 0.2, f"{kernel} should start low"
+    assert data.efficiency_at(KernelName.GEMM, 500) > data.efficiency_at(
+        KernelName.SYRK, 500
+    )

@@ -1,0 +1,21 @@
+"""Regenerates **Figure 6**: time score vs FLOP score scatter for
+matrix-chain anomalies found by random search (Experiment 1).
+
+Paper expectation (shape): anomalies rare (≈0.4% at full scale), most
+below 10% FLOP score / 20% time score, a tail reaching ≈35% time score.
+"""
+
+from repro.figures import fig6
+
+
+def test_fig6_chain_scatter(run_once, fig_config):
+    data = run_once(lambda: fig6.generate(fig_config))
+    print()
+    print(fig6.render(data))
+
+    assert data.expression == "chain4"
+    # Chain anomalies must be rare.
+    assert data.abundance < 0.02
+    # Every reported anomaly clears the 10% time-score threshold.
+    assert all(ts > 0.10 for ts in data.time_scores)
+    assert all(0 <= fs < 1 for fs in data.flop_scores)

@@ -1,0 +1,23 @@
+"""Regenerates **Figure 7**: region thickness distribution per
+dimension for the matrix chain (Experiment 2).
+
+Paper expectation (shape): anomalies cluster into contiguous regions;
+thickness varies by dimension and can approach the full 20–1200 span.
+"""
+
+from repro.figures import fig7
+
+
+def test_fig7_chain_regions(run_once, fig_config):
+    data = run_once(lambda: fig7.generate(fig_config))
+    print()
+    print(fig7.render(data))
+
+    assert data.n_dims == 5
+    all_thicknesses = [
+        t for dist in data.distributions for t in dist.thicknesses
+    ]
+    assert all_thicknesses, "region traversal must produce lines"
+    assert all(t >= 0 for t in all_thicknesses)
+    # Clustering: at least one region is thick (>100 units).
+    assert max(all_thicknesses) > 100

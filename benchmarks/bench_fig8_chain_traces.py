@@ -1,0 +1,30 @@
+"""Regenerates **Figure 8**: efficiencies of the six chain algorithms
+along two lines through anomalous regions.
+
+Paper expectation (shape): per-algorithm efficiency varies along the
+line; inside the region the cheapest and fastest sets are disjoint;
+transitions at boundaries are either abrupt or gradual.
+"""
+
+from repro.figures import fig8
+
+
+def test_fig8_chain_traces(run_once, fig_config):
+    data = run_once(lambda: fig8.generate(fig_config))
+    print()
+    print(fig8.render(data))
+
+    assert len(data.lines) == 2
+    for line in data.lines:
+        assert len(line.traces) == 6
+        # The originating anomaly position must be anomalous.
+        assert line.anomalous_positions, "line must cross its region"
+        for trace in line.traces:
+            assert all(0 <= p.total_efficiency <= 1 for p in trace.points)
+        # At anomalous positions, no algorithm is both cheapest and
+        # fastest (the sets are disjoint by definition).
+        for i, pos in enumerate(line.positions):
+            if pos in line.anomalous_positions:
+                assert not any(
+                    t.points[i].status == "both" for t in line.traces
+                )

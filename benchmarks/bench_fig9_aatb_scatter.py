@@ -1,0 +1,21 @@
+"""Regenerates **Figure 9**: time score vs FLOP score scatter for
+``A Aᵀ B`` anomalies (Experiment 1).
+
+Paper expectation (shape): anomalies abundant (≈9.7% at full scale),
+with a severe tail — up to ~45% more FLOPs buying ~40% less time.
+"""
+
+from repro.figures import fig9
+
+
+def test_fig9_aatb_scatter(run_once, fig_config):
+    data = run_once(lambda: fig9.generate(fig_config))
+    print()
+    print(fig9.render(data))
+
+    assert data.expression == "aatb"
+    # Abundant relative to the chain: several percent.
+    assert data.abundance > 0.04
+    assert all(ts > 0.10 for ts in data.time_scores)
+    # A severe tail exists.
+    assert max(data.time_scores) > 0.20

@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Every paper artefact (Figures 1, 6–11; Tables 1, 2) has one benchmark
+that regenerates it and reports the wall time of the regeneration.
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``quick`` default, ``full`` for the paper's parameters — minutes).
+
+Studies are shared through :func:`repro.figures.common.study_for`'s
+process-level cache, so the suite runs each experiment pipeline once
+per expression.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.figures.common import FigureConfig
+
+
+@pytest.fixture(scope="session")
+def fig_config() -> FigureConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+    return FigureConfig(scale=scale, seed=seed)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a regeneration exactly once under pytest-benchmark timing.
+
+    Artefact regenerations take seconds to minutes; statistical
+    repetition belongs to the *measurements inside* the experiments
+    (the paper's median-of-k), not to the harness.
+    """
+
+    def _run(fn):
+        return benchmark.pedantic(fn, iterations=1, rounds=1, warmup_rounds=0)
+
+    return _run

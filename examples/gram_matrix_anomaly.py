@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Gram-matrix workload: mapping an anomalous region of ``A Aᵀ B``.
+
+Scenario: an iterative solver repeatedly applies the Gram-like operator
+``X := A Aᵀ B`` where ``A`` holds ``d1`` samples of a ``d0``-dimensional
+feature (wide data, ``d1 ≫ d0``) and ``B`` is a block of ``d2``
+vectors.  A FLOP-minimising library picks the SYRK-based evaluation —
+this example shows where that choice is wrong and by how much, by
+traversing dimension ``d0`` through an anomalous region exactly as the
+paper's Experiment 2 does.
+
+Run:  python examples/gram_matrix_anomaly.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulatedBackend, get_expression, paper_box
+from repro.analysis.traces import trace_line
+
+ORIGIN = (92, 1095, 323)  # an anomaly found by Experiment 1
+DIM = 0  # traverse d0 (the feature dimension)
+
+
+def main() -> None:
+    backend = SimulatedBackend()
+    aatb = get_expression("aatb")
+    box = paper_box(3)
+
+    traces = trace_line(
+        backend, aatb, ORIGIN, DIM, box, half_points=12, threshold=0.05
+    )
+
+    print(f"Traversing d{DIM} through the anomaly at {ORIGIN}")
+    print(f"(other dims fixed: d1={ORIGIN[1]}, d2={ORIGIN[2]})\n")
+
+    names = [t.algorithm_name for t in traces.traces]
+    short = [n.split(":")[1] for n in names]
+    header = f"{'d0':>6} | " + " ".join(f"{s:>15}" for s in short) + " | anomaly"
+    print(header)
+    print("-" * len(header))
+
+    for i, position in enumerate(traces.positions):
+        cells = []
+        for trace in traces.traces:
+            point = trace.points[i]
+            mark = {"both": "*", "cheapest": "c", "fastest": "f"}.get(
+                point.status, " "
+            )
+            cells.append(f"{point.total_efficiency:>13.3f}{mark:>2}")
+        flag = "ANOMALY" if position in traces.anomalous_positions else ""
+        print(f"{position:>6} | " + " ".join(cells) + f" | {flag}")
+
+    print(
+        "\nlegend: efficiency = algorithm FLOPs / (time x machine peak); "
+        "c = cheapest (min FLOPs), f = fastest, * = both"
+    )
+    n_anom = len(traces.anomalous_positions)
+    print(
+        f"\n{n_anom} of {len(traces.positions)} sampled positions are "
+        "anomalous: along this stretch a FLOP-minimising library "
+        "(Linnea, Armadillo, Julia) runs the SYRK-based algorithm even "
+        "though a GEMM-based one is >5% faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: is the FLOP count a good discriminant for this instance?
+
+Evaluates the paper's two expressions at one concrete instance each:
+measures every mathematically equivalent algorithm on the simulated
+machine, shows FLOP counts vs measured times, and classifies the
+instance per the paper's §3.3 (anomaly ⇔ no minimum-FLOP algorithm is
+among the fastest, with a 10% time-score threshold).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulatedBackend, classify, evaluate_instance, get_expression
+
+
+def study_instance(expression_name: str, instance: tuple[int, ...]) -> None:
+    backend = SimulatedBackend()
+    expression = get_expression(expression_name)
+    algorithms = expression.algorithms()
+
+    print(f"\n=== {expression_name} at instance {instance} ===")
+    evaluation = evaluate_instance(backend, algorithms, instance)
+
+    fmin = min(evaluation.flops)
+    tmin = min(evaluation.seconds)
+    print(f"{'algorithm':<30} {'GFLOPs':>9} {'time (ms)':>10}  notes")
+    for name, flops, seconds in zip(
+        evaluation.algorithm_names, evaluation.flops, evaluation.seconds
+    ):
+        notes = []
+        if flops == fmin:
+            notes.append("cheapest")
+        if seconds <= tmin * (1 + 1e-12):
+            notes.append("fastest")
+        print(
+            f"{name:<30} {flops / 1e9:>9.3f} {seconds * 1e3:>10.3f}  "
+            f"{' + '.join(notes)}"
+        )
+
+    verdict = classify(evaluation, threshold=0.10)
+    if verdict.is_anomaly:
+        print(
+            f"--> ANOMALY: the fastest algorithm beats the best "
+            f"minimum-FLOP algorithm by {verdict.time_score:.1%} "
+            f"while spending {verdict.flop_score:.1%} more FLOPs."
+        )
+    else:
+        print(
+            f"--> not an anomaly (time score {verdict.time_score:.1%}): "
+            "picking by FLOPs is fine here."
+        )
+
+
+def main() -> None:
+    # A benign chain instance: FLOPs discriminate correctly.
+    study_instance("chain4", (600, 400, 500, 450, 550))
+    # An A·Aᵀ·B instance deep in an anomalous region: the SYRK-based
+    # algorithms are the cheapest but far from fastest.
+    study_instance("aatb", (92, 1095, 323))
+
+
+if __name__ == "__main__":
+    main()
