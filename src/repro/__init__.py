@@ -1,0 +1,50 @@
+"""repro — reproduction of conf_icpp_LopezKB22.
+
+"FLOPs as a discriminant for dense linear algebra algorithms": does
+minimum-FLOP algorithm selection (Linnea, Armadillo, Julia) actually
+pick the fastest algorithm?  The paper finds ~10% anomaly rates on
+``A Aᵀ B`` and rare-but-real anomalies on matrix chains.
+
+Layered architecture::
+
+    kernels      KernelName + per-kernel FLOP formulas
+    machine      MachineModel / NoiseModel / spec / presets
+    backends     SimulatedBackend (analytic timing), RealBlasBackend
+    expressions  registry of expressions + equivalent algorithms
+    core         classify / searchspace / discriminants / symbolic
+    profiles     kernel benchmarking + abrupt-change detection
+    experiments  random_search / explore_regions / prediction
+    analysis     selection quality / confusion / traces
+    figures      regenerators for Figures 1, 6-11 and Tables 1-2
+"""
+
+from __future__ import annotations
+
+from repro.backends.simulated import SimulatedBackend
+from repro.core.classify import Verdict, classify, evaluate_instance
+from repro.core.discriminants import (
+    BenchmarkDiscriminant,
+    FlopsProfileHybrid,
+    MinFlopsDiscriminant,
+    ProfiledTimeDiscriminant,
+)
+from repro.core.searchspace import Box, paper_box
+from repro.expressions import optimal_parenthesisation
+from repro.expressions.registry import get_expression
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BenchmarkDiscriminant",
+    "Box",
+    "FlopsProfileHybrid",
+    "MinFlopsDiscriminant",
+    "ProfiledTimeDiscriminant",
+    "SimulatedBackend",
+    "Verdict",
+    "classify",
+    "evaluate_instance",
+    "get_expression",
+    "optimal_parenthesisation",
+    "paper_box",
+]

@@ -1,0 +1,14 @@
+"""Analysis layer: turning experiment output into paper artefacts."""
+
+from repro.analysis.confusion import ConfusionMatrix, confusion_from_prediction
+from repro.analysis.selection import SelectionQuality, selection_quality
+from repro.analysis.traces import LineTraces, trace_line
+
+__all__ = [
+    "ConfusionMatrix",
+    "LineTraces",
+    "SelectionQuality",
+    "confusion_from_prediction",
+    "selection_quality",
+    "trace_line",
+]

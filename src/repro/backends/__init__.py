@@ -1,0 +1,6 @@
+"""Backend layer: things that can time algorithms and kernels."""
+
+from repro.backends.base import Backend
+from repro.backends.simulated import SimulatedBackend
+
+__all__ = ["Backend", "SimulatedBackend"]

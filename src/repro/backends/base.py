@@ -1,0 +1,44 @@
+"""The backend interface shared by the simulated and real machines.
+
+A backend answers three timing questions:
+
+* ``time_algorithm``  — run a whole algorithm (kernels back to back,
+  inter-kernel effects included) and report the median wall time;
+* ``time_kernel``     — run one isolated kernel call with a clean
+  cache (the paper's benchmark protocol);
+* ``predict_time``    — sum the isolated kernel times of an algorithm
+  (Experiment 3's benchmark-based predictor).
+
+Experiment code is backend-agnostic: everything under
+:mod:`repro.core`, :mod:`repro.experiments` and :mod:`repro.analysis`
+works identically against either backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.expressions.base import Algorithm
+from repro.kernels.types import KernelName
+
+
+class Backend(abc.ABC):
+    @property
+    @abc.abstractmethod
+    def peak_flops(self) -> float:
+        """FLOP/s the machine can sustain at best (efficiency = 1)."""
+
+    @abc.abstractmethod
+    def time_algorithm(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
+        ...
+
+    @abc.abstractmethod
+    def time_kernel(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        ...
+
+    def predict_time(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
+        return sum(
+            self.time_kernel(call.kernel, call.dims)
+            for call in algorithm.kernel_calls(instance)
+        )

@@ -1,0 +1,63 @@
+"""The deterministic simulated backend.
+
+Delegates all timing to a :class:`repro.machine.machine.MachineModel`;
+see that module for the analytic effects (ramps, variant dispatch,
+thread balance, inter-kernel cache interference, noise).  A small
+memo keeps repeated evaluations of the same (algorithm, instance)
+cheap — the experiment pipelines revisit points constantly, and the
+model is stateless so memoisation is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.backends.base import Backend
+from repro.expressions.base import Algorithm
+from repro.kernels.types import KernelName
+from repro.machine.machine import MachineModel
+
+
+class SimulatedBackend(Backend):
+    def __init__(self, machine: Optional[MachineModel] = None) -> None:
+        if machine is None:
+            from repro.machine.presets import paper_machine
+
+            machine = paper_machine()
+        self.machine = machine
+        self._algorithm_memo: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+        self._kernel_memo: Dict[Tuple[KernelName, Tuple[int, ...]], float] = {}
+
+    @property
+    def peak_flops(self) -> float:
+        return self.machine.peak_flops
+
+    def time_algorithm(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
+        key = (algorithm.name, tuple(int(d) for d in instance))
+        cached = self._algorithm_memo.get(key)
+        if cached is None:
+            calls = algorithm.kernel_calls(key[1])
+            cached = self.machine.measure_algorithm(calls, context=algorithm.name)
+            self._algorithm_memo[key] = cached
+        return cached
+
+    def predict_time(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
+        key = ("predict:" + algorithm.name, tuple(int(d) for d in instance))
+        cached = self._algorithm_memo.get(key)
+        if cached is None:
+            calls = algorithm.kernel_calls(key[1])
+            cached = self.machine.predict_algorithm(calls, context=algorithm.name)
+            self._algorithm_memo[key] = cached
+        return cached
+
+    def time_kernel(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        key = (kernel, tuple(int(d) for d in dims))
+        cached = self._kernel_memo.get(key)
+        if cached is None:
+            cached = self.machine.measure_kernel(kernel, key[1])
+            self._kernel_memo[key] = cached
+        return cached
+
+    def kernel_efficiency(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        """Noise-free analytic efficiency (used by Figure 1's ideal curves)."""
+        return self.machine.efficiency(kernel, dims)

@@ -1,0 +1,13 @@
+"""Core layer: anomaly classification, search space, discriminants."""
+
+from repro.core.classify import Evaluation, Verdict, classify, evaluate_instance
+from repro.core.searchspace import Box, paper_box
+
+__all__ = [
+    "Box",
+    "Evaluation",
+    "Verdict",
+    "classify",
+    "evaluate_instance",
+    "paper_box",
+]

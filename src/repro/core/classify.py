@@ -1,0 +1,110 @@
+"""Instance evaluation and the paper's §3.3 anomaly classification.
+
+For one instance, every equivalent algorithm is measured; then:
+
+* the **cheapest** set holds the algorithms of minimum FLOP count;
+* the **fastest** set holds the algorithms of minimum measured time;
+* the **time score** is the fraction of time saved by the overall
+  fastest relative to the best (fastest) minimum-FLOP algorithm,
+  ``1 - t_min / t_best_cheapest``;
+* the **FLOP score** is the fraction of extra FLOPs the fastest
+  algorithm spends, ``1 - f_min / f_fastest`` (in ``[0, 1)``).
+
+An instance is an **anomaly** at threshold θ when the time score
+exceeds θ — picking by FLOPs forfeits more than θ of the attainable
+performance.  The paper uses θ = 10% in Experiment 1 and 5% in
+Experiments 2–3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.backends.base import Backend
+from repro.expressions.base import Algorithm
+
+#: Relative tolerance when intersecting "minimum" sets: measured times
+#: are floats, FLOP counts exact ints; both use the same rule.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """All algorithms of one expression measured at one instance."""
+
+    instance: Tuple[int, ...]
+    algorithm_names: Tuple[str, ...]
+    flops: Tuple[int, ...]
+    seconds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.algorithm_names) == len(self.flops) == len(self.seconds)
+        ):
+            raise ValueError("ragged evaluation")
+        if not self.algorithm_names:
+            raise ValueError("evaluation needs at least one algorithm")
+
+    def cheapest_indices(self) -> List[int]:
+        fmin = min(self.flops)
+        return [
+            i for i, f in enumerate(self.flops) if f <= fmin * (1 + _REL_TOL)
+        ]
+
+    def fastest_indices(self) -> List[int]:
+        tmin = min(self.seconds)
+        return [
+            i for i, t in enumerate(self.seconds) if t <= tmin * (1 + _REL_TOL)
+        ]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The §3.3 classification of one evaluated instance."""
+
+    is_anomaly: bool
+    time_score: float
+    flop_score: float
+    threshold: float
+    cheapest: Tuple[str, ...]
+    fastest: Tuple[str, ...]
+
+
+def evaluate_instance(
+    backend: Backend,
+    algorithms: Sequence[Algorithm],
+    instance: Sequence[int],
+) -> Evaluation:
+    """Measure every algorithm at one instance on the given backend."""
+    instance = tuple(int(d) for d in instance)
+    return Evaluation(
+        instance=instance,
+        algorithm_names=tuple(a.name for a in algorithms),
+        flops=tuple(int(a.flops(instance)) for a in algorithms),
+        seconds=tuple(
+            float(backend.time_algorithm(a, instance)) for a in algorithms
+        ),
+    )
+
+
+def classify(evaluation: Evaluation, threshold: float = 0.10) -> Verdict:
+    """Apply the paper's anomaly rule to an evaluation."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    cheapest = evaluation.cheapest_indices()
+    fastest = evaluation.fastest_indices()
+    t_min = min(evaluation.seconds)
+    t_best_cheapest = min(evaluation.seconds[i] for i in cheapest)
+    time_score = 1.0 - t_min / t_best_cheapest
+    f_min = min(evaluation.flops)
+    f_fastest = min(evaluation.flops[i] for i in fastest)
+    flop_score = 1.0 - f_min / f_fastest if f_fastest else 0.0
+    return Verdict(
+        is_anomaly=time_score > threshold,
+        time_score=time_score,
+        flop_score=flop_score,
+        threshold=threshold,
+        cheapest=tuple(evaluation.algorithm_names[i] for i in cheapest),
+        fastest=tuple(evaluation.algorithm_names[i] for i in fastest),
+    )

@@ -1,0 +1,114 @@
+"""Algorithm-selection discriminants (paper §5).
+
+A discriminant picks one algorithm for an instance *without measuring
+the candidate algorithms on that instance*:
+
+* :class:`MinFlopsDiscriminant` — minimum FLOP count; what Linnea,
+  Armadillo and Julia implement (the paper's subject).
+* :class:`ProfiledTimeDiscriminant` — minimum time predicted from
+  one-off interpolated kernel performance profiles.
+* :class:`FlopsProfileHybrid` — the paper's conjectured combination:
+  shortlist by FLOPs (discard anything more than ``margin`` above the
+  minimum), then rank the shortlist by profile-predicted time.
+* :class:`BenchmarkDiscriminant` — per-instance isolated kernel
+  benchmarks, summed (Experiment 3's predictor, an oracle-ish upper
+  bound that still misses inter-kernel cache effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.backends.base import Backend
+from repro.expressions.base import Algorithm
+from repro.kernels.types import KernelName
+from repro.profiles.benchmark import Profile
+
+
+class Discriminant:
+    """Interface: pick the index of the algorithm to run."""
+
+    name: str = ""
+
+    def select(
+        self, algorithms: Sequence[Algorithm], instance: Sequence[int]
+    ) -> int:
+        raise NotImplementedError
+
+
+class MinFlopsDiscriminant(Discriminant):
+    name = "min-flops"
+
+    def select(
+        self, algorithms: Sequence[Algorithm], instance: Sequence[int]
+    ) -> int:
+        flop_counts = [int(a.flops(instance)) for a in algorithms]
+        return flop_counts.index(min(flop_counts))
+
+
+class _ProfileMixin:
+    def __init__(self, profiles: Dict[KernelName, Profile]) -> None:
+        self.profiles = profiles
+
+    def predicted_time(
+        self, algorithm: Algorithm, instance: Sequence[int]
+    ) -> float:
+        total = 0.0
+        for call in algorithm.kernel_calls(tuple(instance)):
+            profile = self.profiles.get(call.kernel)
+            if profile is None:
+                raise KeyError(
+                    f"no profile for kernel {call.kernel.value}"
+                )
+            total += profile.predict(call.dims)
+        return total
+
+
+class ProfiledTimeDiscriminant(_ProfileMixin, Discriminant):
+    name = "profiled-time"
+
+    def select(
+        self, algorithms: Sequence[Algorithm], instance: Sequence[int]
+    ) -> int:
+        times = [self.predicted_time(a, instance) for a in algorithms]
+        return times.index(min(times))
+
+
+class FlopsProfileHybrid(_ProfileMixin, Discriminant):
+    def __init__(
+        self, profiles: Dict[KernelName, Profile], margin: float = 0.5
+    ) -> None:
+        super().__init__(profiles)
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = margin
+        self.name = f"flops+profile(margin={margin:g})"
+
+    def select(
+        self, algorithms: Sequence[Algorithm], instance: Sequence[int]
+    ) -> int:
+        flop_counts = [int(a.flops(instance)) for a in algorithms]
+        cutoff = min(flop_counts) * (1.0 + self.margin)
+        shortlist = [
+            i for i, flops in enumerate(flop_counts) if flops <= cutoff
+        ]
+        times = {
+            i: self.predicted_time(algorithms[i], instance)
+            for i in shortlist
+        }
+        return min(shortlist, key=times.__getitem__)
+
+
+class BenchmarkDiscriminant(Discriminant):
+    name = "benchmark-sum"
+
+    def __init__(self, backend: Backend) -> None:
+        self.backend = backend
+
+    def select(
+        self, algorithms: Sequence[Algorithm], instance: Sequence[int]
+    ) -> int:
+        times = [
+            self.backend.predict_time(a, instance) for a in algorithms
+        ]
+        return times.index(min(times))

@@ -1,0 +1,66 @@
+"""Instance search spaces: integer boxes of operand dimensions.
+
+The paper explores dims independently drawn from ``[20, 1200]``
+(its Table: 20..1200 per dimension) — :func:`paper_box`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+PAPER_LOW = 20
+PAPER_HIGH = 1200
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned integer box; samples are uniform per axis."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+
+    def __init__(self, lows: Sequence[int], highs: Sequence[int]) -> None:
+        lows = tuple(int(v) for v in lows)
+        highs = tuple(int(v) for v in highs)
+        if len(lows) != len(highs):
+            raise ValueError("lows/highs length mismatch")
+        if not lows:
+            raise ValueError("box needs at least one dimension")
+        if any(lo > hi for lo, hi in zip(lows, highs)):
+            raise ValueError(f"empty box: {lows} .. {highs}")
+        if any(lo < 1 for lo in lows):
+            raise ValueError("dimensions must be positive")
+        object.__setattr__(self, "lows", lows)
+        object.__setattr__(self, "highs", highs)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.lows)
+
+    def sample(self, rng: random.Random) -> Tuple[int, ...]:
+        """One uniform sample; deterministic given the caller's rng."""
+        return tuple(
+            rng.randint(lo, hi) for lo, hi in zip(self.lows, self.highs)
+        )
+
+    def contains(self, instance: Sequence[int]) -> bool:
+        return len(instance) == self.n_dims and all(
+            lo <= v <= hi
+            for v, lo, hi in zip(instance, self.lows, self.highs)
+        )
+
+    def clamp(self, instance: Sequence[int]) -> Tuple[int, ...]:
+        return tuple(
+            min(max(int(v), lo), hi)
+            for v, lo, hi in zip(instance, self.lows, self.highs)
+        )
+
+    def span(self, dim: int) -> int:
+        return self.highs[dim] - self.lows[dim]
+
+
+def paper_box(n_dims: int) -> Box:
+    """The paper's exploration box: every dim in [20, 1200]."""
+    return Box((PAPER_LOW,) * n_dims, (PAPER_HIGH,) * n_dims)

@@ -1,0 +1,243 @@
+"""Symbolic FLOP analysis: what a compiler can decide before run time.
+
+The paper's motivating setting (§5): operand sizes may be unknown at
+compile time.  Because every algorithm's FLOP count is a *polynomial*
+in the instance dims (kernel FLOP formulas are polynomial and dims
+map straight through), we can:
+
+* print the exact polynomial (:func:`flop_polynomial`), and
+* with some dims fixed and others ranging over an interval, compute
+  which algorithms can be FLOP-cheapest for *some* assignment —
+  everything else is discarded at compile time
+  (:func:`possibly_cheapest`).
+
+The polynomial arithmetic is a small self-contained implementation
+(the ``SizeVarAllocator``-style symbolic-shape machinery of
+torchdynamo/torchinductor inspired the dim-as-symbol approach, but a
+full sympy dependency is unnecessary for degree-3 polynomials).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.expressions.base import Algorithm
+
+#: Grid-enumeration budget for the exact analysis.
+_EXACT_LIMIT = 300_000
+
+
+class Poly:
+    """Multivariate polynomial with exact integer-friendly coefficients.
+
+    Monomials are exponent tuples over ``n_vars`` variables.  Supports
+    ``+`` and ``*`` with Polys and numbers — enough to flow through
+    any FLOP formula.
+    """
+
+    __slots__ = ("n_vars", "coeffs")
+
+    def __init__(
+        self, n_vars: int, coeffs: Dict[Tuple[int, ...], float] | None = None
+    ) -> None:
+        self.n_vars = n_vars
+        self.coeffs: Dict[Tuple[int, ...], float] = {}
+        if coeffs:
+            for mono, coeff in coeffs.items():
+                if coeff:
+                    self.coeffs[mono] = coeff
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def variable(cls, index: int, n_vars: int) -> "Poly":
+        mono = tuple(1 if i == index else 0 for i in range(n_vars))
+        return cls(n_vars, {mono: 1})
+
+    @classmethod
+    def constant(cls, value, n_vars: int) -> "Poly":
+        return cls(n_vars, {(0,) * n_vars: value})
+
+    def _coerce(self, other) -> "Poly":
+        if isinstance(other, Poly):
+            if other.n_vars != self.n_vars:
+                raise ValueError("mixed variable spaces")
+            return other
+        return Poly.constant(other, self.n_vars)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other) -> "Poly":
+        other = self._coerce(other)
+        out = dict(self.coeffs)
+        for mono, coeff in other.coeffs.items():
+            out[mono] = out.get(mono, 0) + coeff
+        return Poly(self.n_vars, out)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Poly":
+        other = self._coerce(other)
+        out: Dict[Tuple[int, ...], float] = {}
+        for m1, c1 in self.coeffs.items():
+            for m2, c2 in other.coeffs.items():
+                mono = tuple(a + b for a, b in zip(m1, m2))
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return Poly(self.n_vars, out)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.n_vars == other.n_vars and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, frozenset(self.coeffs.items())))
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return max((sum(m) for m in self.coeffs), default=0)
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        if len(values) != self.n_vars:
+            raise ValueError("wrong number of values")
+        total = 0.0
+        for mono, coeff in self.coeffs.items():
+            term = coeff
+            for value, exponent in zip(values, mono):
+                if exponent:
+                    term *= value**exponent
+            total += term
+        return total
+
+    def render(self, names: Sequence[str]) -> str:
+        """Human-readable form, highest-degree terms first."""
+        if len(names) != self.n_vars:
+            raise ValueError("need one name per variable")
+        if not self.coeffs:
+            return "0"
+        parts = []
+        for mono in sorted(
+            self.coeffs, key=lambda m: (-sum(m), tuple(-e for e in m))
+        ):
+            coeff = self.coeffs[mono]
+            factors = []
+            if coeff != 1 or not any(mono):
+                factors.append(f"{coeff:g}")
+            for name, exponent in zip(names, mono):
+                if exponent == 1:
+                    factors.append(name)
+                elif exponent > 1:
+                    factors.append(f"{name}^{exponent}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Poly({self.render([f'x{i}' for i in range(self.n_vars)])})"
+
+
+def flop_polynomial(algorithm: Algorithm, n_dims: int | None = None) -> Poly:
+    """The algorithm's FLOP count as an explicit polynomial."""
+    if n_dims is None:
+        from repro.expressions.registry import get_expression
+
+        n_dims = get_expression(algorithm.expression).n_dims
+    variables = [Poly.variable(i, n_dims) for i in range(n_dims)]
+    total = algorithm.flops(variables)
+    if not isinstance(total, Poly):  # constant-FLOP corner case
+        total = Poly.constant(total, n_dims)
+    return total
+
+
+@dataclass(frozen=True)
+class CheapestAnalysis:
+    """Result of :func:`possibly_cheapest`.
+
+    ``certain``     indices provably FLOP-cheapest for some assignment;
+    ``candidates``  indices that cannot be ruled out (⊇ certain);
+    ``exact``       True when the whole grid was enumerated, making
+                    ``certain == candidates`` a complete answer;
+    ``witnesses``   one witness instance per certain index.
+    """
+
+    certain: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+    exact: bool
+    witnesses: Dict[int, Tuple[int, ...]]
+
+
+def possibly_cheapest(
+    algorithms: Sequence[Algorithm],
+    fixed: Dict[int, int],
+    bounds_lo: Sequence[int],
+    bounds_hi: Sequence[int],
+) -> CheapestAnalysis:
+    """Which algorithms can be FLOP-cheapest for *some* free-dim values?
+
+    ``fixed`` maps dim index → known compile-time size; the remaining
+    dims range over ``[bounds_lo[i], bounds_hi[i]]``.  Small spaces are
+    enumerated exhaustively (exact); large ones are sampled on a dense
+    sub-grid, in which case ``candidates`` additionally keeps any
+    algorithm coming within 2% of the minimum somewhere (near-misses a
+    coarse grid might have separated from a true win).
+    """
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    n_dims = len(bounds_lo)
+    if len(bounds_hi) != n_dims:
+        raise ValueError("bounds length mismatch")
+    free_dims = [i for i in range(n_dims) if i not in fixed]
+    for dim, value in fixed.items():
+        if not 0 <= dim < n_dims:
+            raise ValueError(f"fixed dim {dim} out of range")
+        if value < 1:
+            raise ValueError("fixed sizes must be positive")
+
+    polynomials = [flop_polynomial(a, n_dims) for a in algorithms]
+
+    sizes = [bounds_hi[i] - bounds_lo[i] + 1 for i in free_dims]
+    total_points = 1
+    for size in sizes:
+        total_points *= size
+    exact = total_points <= _EXACT_LIMIT
+
+    def axis_values(dim: int) -> List[int]:
+        lo, hi = bounds_lo[dim], bounds_hi[dim]
+        if exact or lo == hi:
+            return list(range(lo, hi + 1))
+        # Dense sub-grid including both endpoints.
+        count = max(2, int(round(_EXACT_LIMIT ** (1 / len(free_dims)))))
+        count = min(count, hi - lo + 1, 512)
+        step = (hi - lo) / (count - 1)
+        return sorted({int(round(lo + k * step)) for k in range(count)})
+
+    certain: Dict[int, Tuple[int, ...]] = {}
+    near: set = set()
+    grids = [axis_values(dim) for dim in free_dims]
+    for combo in itertools.product(*grids):
+        point = [0] * n_dims
+        for dim, value in fixed.items():
+            point[dim] = value
+        for dim, value in zip(free_dims, combo):
+            point[dim] = value
+        counts = [p.evaluate(point) for p in polynomials]
+        minimum = min(counts)
+        for i, count in enumerate(counts):
+            if count == minimum:
+                certain.setdefault(i, tuple(point))
+            elif not exact and count <= minimum * 1.02:
+                near.add(i)
+
+    certain_idx = tuple(sorted(certain))
+    candidates = certain_idx if exact else tuple(sorted(set(certain) | near))
+    return CheapestAnalysis(
+        certain=certain_idx,
+        candidates=candidates,
+        exact=exact,
+        witnesses=certain,
+    )

@@ -1,0 +1,7 @@
+"""Experiments layer: the paper's three experiment pipelines."""
+
+from repro.experiments.prediction import predict_from_benchmarks
+from repro.experiments.random_search import random_search
+from repro.experiments.regions import explore_regions
+
+__all__ = ["explore_regions", "predict_from_benchmarks", "random_search"]

@@ -1,0 +1,73 @@
+"""Experiment 3: predicting anomalies from isolated kernel benchmarks.
+
+For every cell the region traversal classified (ground truth), build
+the same classification from *predicted* algorithm times — the sum of
+each algorithm's isolated kernel benchmark times.  Agreement means an
+anomaly could have been anticipated from one-off per-kernel data; the
+disagreements measure what only inter-kernel (cache) effects explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.backends.base import Backend
+from repro.core.classify import Evaluation, classify
+from repro.experiments.regions import Regions
+from repro.expressions.base import Expression
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    instance: Tuple[int, ...]
+    actual_anomaly: bool
+    predicted_anomaly: bool
+    actual_score: float
+    predicted_score: float
+
+
+@dataclass(frozen=True)
+class Prediction:
+    expression: str
+    threshold: float
+    records: Tuple[PredictionRecord, ...]
+
+
+def predict_from_benchmarks(
+    backend: Backend,
+    expression: Expression,
+    regions: Regions,
+) -> Prediction:
+    if regions.expression != expression.name:
+        raise ValueError(
+            f"regions are for {regions.expression!r}, "
+            f"not {expression.name!r}"
+        )
+    algorithms = expression.algorithms()
+    records: List[PredictionRecord] = []
+    for cell in regions.cells:
+        predicted = Evaluation(
+            instance=cell.instance,
+            algorithm_names=tuple(a.name for a in algorithms),
+            flops=tuple(int(a.flops(cell.instance)) for a in algorithms),
+            seconds=tuple(
+                float(backend.predict_time(a, cell.instance))
+                for a in algorithms
+            ),
+        )
+        verdict = classify(predicted, threshold=regions.threshold)
+        records.append(
+            PredictionRecord(
+                instance=cell.instance,
+                actual_anomaly=cell.is_anomaly,
+                predicted_anomaly=verdict.is_anomaly,
+                actual_score=cell.time_score,
+                predicted_score=verdict.time_score,
+            )
+        )
+    return Prediction(
+        expression=expression.name,
+        threshold=regions.threshold,
+        records=tuple(records),
+    )

@@ -1,0 +1,80 @@
+"""Experiment 1: random search for anomalous instances (paper §4.1).
+
+Sample instances uniformly from the box, measure every equivalent
+algorithm, classify, and collect anomalies until a target count or a
+sample budget is reached.  Abundance is anomalies per sample drawn.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.backends.base import Backend
+from repro.core.classify import Verdict, classify, evaluate_instance
+from repro.core.searchspace import Box
+from repro.expressions.base import Expression
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    instance: Tuple[int, ...]
+    verdict: Verdict
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    expression: str
+    threshold: float
+    anomalies: Tuple[Anomaly, ...]
+    n_samples: int
+
+    @property
+    def abundance(self) -> float:
+        """Fraction of sampled instances that are anomalous."""
+        return len(self.anomalies) / self.n_samples if self.n_samples else 0.0
+
+    @property
+    def time_scores(self) -> Tuple[float, ...]:
+        return tuple(a.verdict.time_score for a in self.anomalies)
+
+    @property
+    def flop_scores(self) -> Tuple[float, ...]:
+        return tuple(a.verdict.flop_score for a in self.anomalies)
+
+
+def random_search(
+    backend: Backend,
+    expression: Expression,
+    box: Box,
+    threshold: float = 0.10,
+    target_anomalies: int | None = None,
+    max_samples: int = 10_000,
+    seed: int = 0,
+) -> SearchResult:
+    if box.n_dims != expression.n_dims:
+        raise ValueError(
+            f"{expression.name} needs a {expression.n_dims}-dim box"
+        )
+    if max_samples < 1:
+        raise ValueError("max_samples must be positive")
+    rng = random.Random(seed)
+    algorithms = expression.algorithms()
+    anomalies: List[Anomaly] = []
+    n_samples = 0
+    while n_samples < max_samples and (
+        target_anomalies is None or len(anomalies) < target_anomalies
+    ):
+        instance = box.sample(rng)
+        n_samples += 1
+        evaluation = evaluate_instance(backend, algorithms, instance)
+        verdict = classify(evaluation, threshold=threshold)
+        if verdict.is_anomaly:
+            anomalies.append(Anomaly(instance=instance, verdict=verdict))
+    return SearchResult(
+        expression=expression.name,
+        threshold=threshold,
+        anomalies=tuple(anomalies),
+        n_samples=n_samples,
+    )

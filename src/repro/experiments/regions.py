@@ -1,0 +1,173 @@
+"""Experiment 2: mapping anomalous regions (paper §4.2, §3.4).
+
+From each anomaly found by Experiment 1, traverse every requested
+dimension in both directions, classifying as we go.  The paper's
+hole-tolerance rule (§3.4.2) keeps walking through up to
+``hole_tolerance`` consecutive non-anomalous samples so measurement
+noise near the 5% threshold does not truncate a region.
+
+The traversal yields, per region and dimension, the *extent* (the
+interval between extreme anomalous positions — its length is the
+"thickness" plotted in Figures 7/10) and the set of all evaluated
+*cells*, which Experiment 3 reuses as labelled ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import Backend
+from repro.core.classify import classify, evaluate_instance
+from repro.core.searchspace import Box
+from repro.expressions.base import Expression
+
+DEFAULT_STEP = 16
+DEFAULT_HOLE_TOLERANCE = 2
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    """One classified sample produced during region traversal."""
+
+    instance: Tuple[int, ...]
+    time_score: float
+    is_anomaly: bool
+
+
+@dataclass(frozen=True)
+class DimExtent:
+    """Anomalous extent of one region along one dimension."""
+
+    dim: int
+    lo: int
+    hi: int
+
+    @property
+    def thickness(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class Region:
+    origin: Tuple[int, ...]
+    extents: Dict[int, DimExtent]
+
+    def thickness(self, dim: int) -> int:
+        extent = self.extents.get(dim)
+        return extent.thickness if extent else 0
+
+    def widest_dim(self) -> int:
+        return max(self.extents, key=lambda d: self.extents[d].thickness)
+
+
+@dataclass(frozen=True)
+class Regions:
+    expression: str
+    threshold: float
+    n_dims: int
+    regions: Tuple[Region, ...]
+    cells: Tuple[RegionCell, ...]
+
+    def thicknesses(self, dim: int) -> List[int]:
+        return [r.thickness(dim) for r in self.regions if dim in r.extents]
+
+
+def _walk(
+    backend: Backend,
+    algorithms,
+    origin: Tuple[int, ...],
+    dim: int,
+    box: Box,
+    threshold: float,
+    step: int,
+    hole_tolerance: int,
+    direction: int,
+    cells: List[RegionCell],
+) -> int:
+    """Walk one direction; return the extreme anomalous position."""
+    extreme = origin[dim]
+    position = origin[dim]
+    holes = 0
+    while True:
+        position += direction * step
+        if not box.lows[dim] <= position <= box.highs[dim]:
+            break
+        instance = tuple(
+            position if i == dim else v for i, v in enumerate(origin)
+        )
+        verdict = classify(
+            evaluate_instance(backend, algorithms, instance),
+            threshold=threshold,
+        )
+        cells.append(
+            RegionCell(
+                instance=instance,
+                time_score=verdict.time_score,
+                is_anomaly=verdict.is_anomaly,
+            )
+        )
+        if verdict.is_anomaly:
+            extreme = position
+            holes = 0
+        else:
+            holes += 1
+            if holes > hole_tolerance:
+                break
+    return extreme
+
+
+def explore_regions(
+    backend: Backend,
+    expression: Expression,
+    origins: Sequence[Sequence[int]],
+    box: Box,
+    threshold: float = 0.05,
+    dims: Optional[Sequence[int]] = None,
+    step: int = DEFAULT_STEP,
+    hole_tolerance: int = DEFAULT_HOLE_TOLERANCE,
+) -> Regions:
+    if step < 1:
+        raise ValueError("step must be positive")
+    traversal_dims = tuple(dims) if dims is not None else tuple(
+        range(expression.n_dims)
+    )
+    for dim in traversal_dims:
+        if not 0 <= dim < expression.n_dims:
+            raise ValueError(f"dim {dim} out of range")
+    algorithms = expression.algorithms()
+    regions: List[Region] = []
+    cells: List[RegionCell] = []
+    for origin in origins:
+        origin = tuple(int(v) for v in origin)
+        verdict = classify(
+            evaluate_instance(backend, algorithms, origin),
+            threshold=threshold,
+        )
+        cells.append(
+            RegionCell(
+                instance=origin,
+                time_score=verdict.time_score,
+                is_anomaly=verdict.is_anomaly,
+            )
+        )
+        extents: Dict[int, DimExtent] = {}
+        if verdict.is_anomaly:
+            for dim in traversal_dims:
+                lo = _walk(
+                    backend, algorithms, origin, dim, box, threshold,
+                    step, hole_tolerance, -1, cells,
+                )
+                hi = _walk(
+                    backend, algorithms, origin, dim, box, threshold,
+                    step, hole_tolerance, +1, cells,
+                )
+                extents[dim] = DimExtent(dim=dim, lo=lo, hi=hi)
+        regions.append(Region(origin=origin, extents=extents))
+    return Regions(
+        expression=expression.name,
+        threshold=threshold,
+        n_dims=expression.n_dims,
+        regions=tuple(regions),
+        cells=tuple(cells),
+    )

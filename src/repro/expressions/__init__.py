@@ -1,0 +1,15 @@
+"""Expression layer: computations and their equivalent algorithms."""
+
+from repro.expressions.base import Algorithm, Expression
+from repro.expressions.chain import ChainExpression, optimal_parenthesisation
+from repro.expressions.registry import get_expression, known_expressions, register
+
+__all__ = [
+    "Algorithm",
+    "ChainExpression",
+    "Expression",
+    "get_expression",
+    "known_expressions",
+    "optimal_parenthesisation",
+    "register",
+]

@@ -1,0 +1,46 @@
+"""Thin real-BLAS wrappers for algorithm executors.
+
+SciPy's LAPACK/BLAS bindings are used when available so the real
+backend exercises the actual ``dgemm``/``dsyrk``/``dsymm`` routines
+the paper measured; otherwise NumPy matmul stands in (same results,
+kernel distinction lost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - environment dependent
+    from scipy.linalg import blas as _blas
+
+    HAVE_SCIPY_BLAS = True
+except Exception:  # pragma: no cover
+    _blas = None
+    HAVE_SCIPY_BLAS = False
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = A B via dgemm."""
+    if HAVE_SCIPY_BLAS:
+        return _blas.dgemm(1.0, a, b)
+    return a @ b
+
+
+def syrk_lower(a: np.ndarray) -> np.ndarray:
+    """S = A Aᵀ via dsyrk; only the lower triangle is valid."""
+    if HAVE_SCIPY_BLAS:
+        return _blas.dsyrk(1.0, a, lower=1)
+    return np.tril(a @ a.T)
+
+
+def symm_lower(s: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = S B via dsymm, reading only the lower triangle of S."""
+    if HAVE_SCIPY_BLAS:
+        return _blas.dsymm(1.0, s, b, lower=1)
+    full = np.tril(s) + np.tril(s, -1).T
+    return full @ b
+
+
+def fill_symmetric_from_lower(s: np.ndarray) -> np.ndarray:
+    """The explicit copy step of the syrk+copy+gemm variant."""
+    return np.tril(s) + np.tril(s, -1).T

@@ -1,0 +1,162 @@
+"""The matrix-chain expression ``A B C D ...`` (paper §4.1).
+
+All algorithms are GEMM-only: one per parenthesisation tree, plus one
+extra *schedule* per tree whose root has two internal children (the
+independent subproducts can be computed in either order — same FLOPs,
+different inter-kernel locality).  For four matrices this yields the
+paper's six execution plans (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.expressions import blas
+from repro.expressions.base import Algorithm, Expression
+from repro.expressions.trees import Tree, enumerate_trees, tree_name
+from repro.kernels.flops import gemm_flops
+from repro.kernels.types import KernelCall, KernelName
+
+
+def _chain_calls(
+    tree: Tree, dims: Sequence[Any], right_first_root: bool = False
+) -> Tuple[KernelCall, ...]:
+    """Post-order GEMM calls for one tree/schedule."""
+    calls: List[KernelCall] = []
+
+    def visit(node: Tree, swap: bool) -> Tuple[int, int, bool]:
+        if isinstance(node, int):
+            return node, node + 1, False
+        left, right = node
+        if swap:
+            rp, rq, r_internal = visit(right, False)
+            lp, lq, l_internal = visit(left, False)
+        else:
+            lp, lq, l_internal = visit(left, False)
+            rp, rq, r_internal = visit(right, False)
+        calls.append(
+            KernelCall(
+                KernelName.GEMM,
+                (dims[lp], dims[rq], dims[rp]),
+                reads_previous=l_internal or r_internal,
+            )
+        )
+        return lp, rq, True
+
+    visit(tree, right_first_root)
+    return tuple(calls)
+
+
+def _tree_executor(tree: Tree):
+    def run(operands: Sequence[np.ndarray]) -> np.ndarray:
+        def evaluate(node: Tree) -> np.ndarray:
+            if isinstance(node, int):
+                return operands[node]
+            left, right = node
+            return blas.gemm(evaluate(left), evaluate(right))
+
+        return evaluate(tree)
+
+    return run
+
+
+def _has_two_internal_children(tree: Tree) -> bool:
+    return (
+        not isinstance(tree, int)
+        and not isinstance(tree[0], int)
+        and not isinstance(tree[1], int)
+    )
+
+
+class ChainExpression(Expression):
+    """Chain of ``n`` matrices; instance dims are the n+1 boundaries."""
+
+    def __init__(self, n_matrices: int = 4) -> None:
+        if n_matrices < 2:
+            raise ValueError("a chain needs at least two matrices")
+        self.n_matrices = n_matrices
+        self.name = f"chain{n_matrices}"
+        self.n_dims = n_matrices + 1
+        self.operand_labels = "ABCDEFGH"[:n_matrices]
+        self._algorithms: Tuple[Algorithm, ...] = self._build()
+
+    def _build(self) -> Tuple[Algorithm, ...]:
+        out: List[Algorithm] = []
+        for index, tree in enumerate(enumerate_trees(self.n_matrices), 1):
+            label = tree_name(tree, self.operand_labels)
+            schedules: List[Tuple[str, bool]] = [("", False)]
+            if _has_two_internal_children(tree):
+                # Both subproducts are independent: two schedules.
+                schedules = [("/left-first", False), ("/right-first", True)]
+            for suffix, right_first in schedules:
+                out.append(
+                    Algorithm(
+                        name=f"{self.name}-{index}:{label}{suffix}",
+                        expression=self.name,
+                        calls_builder=(
+                            lambda inst, t=tree, rf=right_first: _chain_calls(
+                                t, inst, rf
+                            )
+                        ),
+                        executor=_tree_executor(tree),
+                    )
+                )
+        return tuple(out)
+
+    def algorithms(self) -> Tuple[Algorithm, ...]:
+        return self._algorithms
+
+    def make_operands(
+        self, instance: Sequence[int], rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        if len(instance) != self.n_dims:
+            raise ValueError(
+                f"{self.name} takes {self.n_dims} dims, got {instance!r}"
+            )
+        return [
+            np.asfortranarray(rng.standard_normal((instance[i], instance[i + 1])))
+            for i in range(self.n_matrices)
+        ]
+
+    def reference(self, operands: Sequence[np.ndarray]) -> np.ndarray:
+        result = operands[0]
+        for operand in operands[1:]:
+            result = result @ operand
+        return result
+
+
+def optimal_parenthesisation(dims: Sequence[int]) -> Tuple[Tree, int]:
+    """Classic min-FLOP dynamic program for a matrix chain.
+
+    Returns ``(tree, flops)`` — the plan every FLOP-count selector
+    (textbooks, Linnea, Armadillo, Julia) would pick, with GEMM's
+    ``2 m n k`` cost per product.
+    """
+    n = len(dims) - 1
+    if n < 1:
+        raise ValueError("need at least one matrix")
+    best: dict = {}
+    for i in range(n):
+        best[(i, i)] = (0, i)
+    for span in range(2, n + 1):
+        for i in range(n - span + 1):
+            j = i + span - 1
+            candidates = []
+            for split in range(i, j):
+                cost = (
+                    best[(i, split)][0]
+                    + best[(split + 1, j)][0]
+                    + gemm_flops(dims[i], dims[j + 1], dims[split + 1])
+                )
+                candidates.append((cost, split))
+            best[(i, j)] = min(candidates)
+
+    def rebuild(i: int, j: int) -> Tree:
+        if i == j:
+            return i
+        split = best[(i, j)][1]
+        return (rebuild(i, split), rebuild(split + 1, j))
+
+    return rebuild(0, n - 1), best[(0, n - 1)][0]

@@ -1,0 +1,46 @@
+"""Expression registry: name → Expression instance.
+
+``chain<k>`` names are materialised on demand (``chain4`` is the
+paper's chain); custom expressions can be registered by plugins.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.expressions.aatb import AatbExpression
+from repro.expressions.base import Expression
+from repro.expressions.chain import ChainExpression
+
+_REGISTRY: Dict[str, Expression] = {}
+_CHAIN_PATTERN = re.compile(r"^chain(\d+)$")
+
+
+def register(expression: Expression) -> Expression:
+    if not expression.name:
+        raise ValueError("expression must have a name")
+    _REGISTRY[expression.name] = expression
+    return expression
+
+
+register(AatbExpression())
+register(ChainExpression(4))
+
+
+def known_expressions() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_expression(name: str) -> Expression:
+    """Look up an expression; ``chain<k>`` is created lazily."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    match = _CHAIN_PATTERN.match(name)
+    if match:
+        n_matrices = int(match.group(1))
+        if n_matrices >= 2:
+            return register(ChainExpression(n_matrices))
+    raise KeyError(
+        f"unknown expression {name!r}; known: {', '.join(known_expressions())}"
+    )

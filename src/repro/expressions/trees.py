@@ -1,0 +1,44 @@
+"""Parenthesisation trees for matrix chains.
+
+A tree is a leaf index (``int``) or a pair ``(left, right)`` of
+trees.  For a chain of ``n`` matrices with boundary dims
+``(d0, ..., dn)``, the matrix spanned by leaves ``p..q`` has shape
+``d_p x d_{q+1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+Tree = Any  # int | Tuple[Tree, Tree]
+
+
+def enumerate_trees(n_leaves: int, _offset: int = 0) -> List[Tree]:
+    """All full binary trees over ``n_leaves`` consecutive leaves.
+
+    Returns the ``Catalan(n_leaves - 1)`` parenthesisations in split
+    order — for 4 matrices, the paper's Figure 3 plans.
+    """
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    if n_leaves == 1:
+        return [_offset]
+    out: List[Tree] = []
+    for split in range(1, n_leaves):
+        lefts = enumerate_trees(split, _offset)
+        rights = enumerate_trees(n_leaves - split, _offset + split)
+        out.extend((l, r) for l in lefts for r in rights)
+    return out
+
+
+def tree_name(tree: Tree, labels: Sequence[str]) -> str:
+    """Render a tree with one-letter operand labels: ``((AB)C)D``."""
+
+    def render(node: Tree, top: bool) -> str:
+        if isinstance(node, int):
+            return labels[node]
+        left, right = node
+        inner = render(left, False) + render(right, False)
+        return inner if top else f"({inner})"
+
+    return render(tree, True)

@@ -1,0 +1,12 @@
+"""Figures layer: regenerators for the paper's artefacts.
+
+One module per artefact: ``fig1``, ``fig6`` … ``fig11``, ``table1``,
+``table2``.  Each exposes ``generate(config) -> data`` and
+``render(data) -> str`` (ASCII rendering — artefacts print in any
+terminal/CI log).  Experiment pipelines are shared through
+:func:`repro.figures.common.study_for`'s process-level cache.
+"""
+
+from repro.figures.common import FigureConfig, study_for
+
+__all__ = ["FigureConfig", "study_for"]

@@ -1,0 +1,138 @@
+"""Shared figure infrastructure: scale config and the cached study.
+
+A *study* is the full experiment pipeline for one expression —
+Experiment 1 (random search), Experiment 2 (region traversal) and
+Experiment 3 (benchmark prediction + confusion) — on the paper
+machine.  Figures 6-11 and both tables are different views of the
+same study, so :func:`study_for` memoises one study per
+``(scale, seed, expression)`` for the whole process: the benchmark
+suite runs each pipeline once however many artefacts it regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.confusion import ConfusionMatrix, confusion_from_prediction
+from repro.backends.simulated import SimulatedBackend
+from repro.core.searchspace import paper_box
+from repro.experiments.prediction import Prediction, predict_from_benchmarks
+from repro.experiments.random_search import SearchResult, random_search
+from repro.experiments.regions import Regions, explore_regions
+from repro.expressions.base import Expression
+from repro.expressions.registry import get_expression
+from repro.machine.presets import paper_machine
+
+#: Experiment-1 classification threshold (paper §4.1).
+SEARCH_THRESHOLD = 0.10
+#: Experiment-2/3 threshold (paper §4.2-4.3).
+REGION_THRESHOLD = 0.05
+
+_SCALES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """Artefact-regeneration scale knobs (see benchmarks/conftest.py)."""
+
+    scale: str = "quick"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in _SCALES:
+            raise ValueError(
+                f"scale must be one of {_SCALES}, got {self.scale!r}"
+            )
+
+    @property
+    def is_full(self) -> bool:
+        return self.scale == "full"
+
+    def search_params(self, expression_name: str) -> Dict[str, int]:
+        if expression_name.startswith("chain"):
+            if self.is_full:
+                return {"target_anomalies": 25, "max_samples": 60_000}
+            return {"target_anomalies": 6, "max_samples": 6_000}
+        if self.is_full:
+            return {"target_anomalies": 150, "max_samples": 20_000}
+        return {"target_anomalies": 25, "max_samples": 2_500}
+
+    def region_params(self, expression_name: str) -> Dict[str, int]:
+        if self.is_full:
+            return {"step": 8, "max_origins": 15}
+        return {"step": 16, "max_origins": 5}
+
+    def fig1_sizes(self) -> Tuple[int, ...]:
+        if self.is_full:
+            return tuple(range(20, 1201, 20))
+        return (20, 60, 110, 160, 230, 300, 380, 460, 560, 680, 800,
+                930, 1060, 1200)
+
+
+@dataclass(frozen=True)
+class Study:
+    """One expression's full experiment pipeline on the paper machine."""
+
+    config: FigureConfig
+    expression: Expression
+    backend: SimulatedBackend
+    search: SearchResult
+    regions: Regions
+    prediction: Prediction
+    confusion: ConfusionMatrix
+
+
+_STUDY_CACHE: Dict[Tuple[str, int, str], Study] = {}
+
+
+def study_for(config: FigureConfig, expression_name: str) -> Study:
+    """The cached study for one expression at one scale/seed."""
+    key = (config.scale, config.seed, expression_name)
+    if key in _STUDY_CACHE:
+        return _STUDY_CACHE[key]
+
+    expression = get_expression(expression_name)
+    backend = SimulatedBackend(paper_machine(seed=config.seed))
+    box = paper_box(expression.n_dims)
+
+    search = random_search(
+        backend,
+        expression,
+        box,
+        threshold=SEARCH_THRESHOLD,
+        seed=config.seed,
+        **config.search_params(expression_name),
+    )
+    region_params = config.region_params(expression_name)
+    origins = [
+        anomaly.instance
+        for anomaly in search.anomalies[: region_params["max_origins"]]
+    ]
+    regions = explore_regions(
+        backend,
+        expression,
+        origins,
+        box,
+        threshold=REGION_THRESHOLD,
+        step=region_params["step"],
+    )
+    prediction = predict_from_benchmarks(backend, expression, regions)
+    confusion = confusion_from_prediction(prediction)
+
+    study = Study(
+        config=config,
+        expression=expression,
+        backend=backend,
+        search=search,
+        regions=regions,
+        prediction=prediction,
+        confusion=confusion,
+    )
+    _STUDY_CACHE[key] = study
+    return study
+
+
+def clear_study_cache() -> None:
+    """Testing hook: drop all memoised studies."""
+    _STUDY_CACHE.clear()

@@ -1,0 +1,48 @@
+"""Figure 1: GEMM/SYRK/SYMM efficiency at square sizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.backends.simulated import SimulatedBackend
+from repro.figures.common import FigureConfig
+from repro.kernels.flops import kernel_flops
+from repro.kernels.types import KERNEL_ARITY, KernelName
+from repro.machine.presets import paper_machine
+
+
+@dataclass(frozen=True)
+class Fig1Data:
+    series: Dict[KernelName, List[Tuple[int, float]]]
+
+    def efficiency_at(self, kernel: KernelName, size: int) -> float:
+        """Efficiency at the sampled size closest to ``size``."""
+        points = self.series[kernel]
+        return min(points, key=lambda p: abs(p[0] - size))[1]
+
+
+def generate(config: FigureConfig) -> Fig1Data:
+    backend = SimulatedBackend(paper_machine(seed=config.seed))
+    series: Dict[KernelName, List[Tuple[int, float]]] = {}
+    for kernel in (KernelName.GEMM, KernelName.SYRK, KernelName.SYMM):
+        points = []
+        for size in config.fig1_sizes():
+            dims = (size,) * KERNEL_ARITY[kernel]
+            seconds = backend.time_kernel(kernel, dims)
+            efficiency = float(kernel_flops(kernel, dims)) / (
+                seconds * backend.peak_flops
+            )
+            points.append((size, efficiency))
+        series[kernel] = points
+    return Fig1Data(series=series)
+
+
+def render(data: Fig1Data, width: int = 50) -> str:
+    lines = ["Figure 1: kernel efficiency vs square size"]
+    for kernel, points in data.series.items():
+        lines.append(f"  {kernel.value}")
+        for size, efficiency in points:
+            bar = "#" * int(round(efficiency * width))
+            lines.append(f"  {size:>6} |{bar:<{width}}| {efficiency:.3f}")
+    return "\n".join(lines)

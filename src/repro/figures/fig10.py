@@ -1,0 +1,20 @@
+"""Figure 10: region thickness per dimension for ``A Aᵀ B``."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.thickness import (
+    RegionFigureData,
+    generate_thickness,
+    render_thickness,
+)
+
+
+def generate(config: FigureConfig) -> RegionFigureData:
+    return generate_thickness(config, "aatb")
+
+
+def render(data: RegionFigureData) -> str:
+    return render_thickness(
+        data, "Figure 10: A·Aᵀ·B anomalous-region thickness"
+    )

@@ -1,0 +1,20 @@
+"""Figure 11: ``A Aᵀ B`` efficiencies along one line per dimension."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.traces_fig import (
+    TraceFigureData,
+    generate_aatb_lines,
+    render_traces,
+)
+
+
+def generate(config: FigureConfig) -> TraceFigureData:
+    return generate_aatb_lines(config)
+
+
+def render(data: TraceFigureData) -> str:
+    return render_traces(
+        data, "Figure 11: A·Aᵀ·B efficiencies along lines through a region"
+    )

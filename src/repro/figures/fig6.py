@@ -1,0 +1,16 @@
+"""Figure 6: time vs FLOP score scatter for matrix-chain anomalies."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.scatter import ScatterData, generate_scatter, render_scatter
+
+
+def generate(config: FigureConfig) -> ScatterData:
+    return generate_scatter(config, "chain4")
+
+
+def render(data: ScatterData) -> str:
+    return render_scatter(
+        data, "Figure 6: chain anomalies, time score vs FLOP score"
+    )

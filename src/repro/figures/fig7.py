@@ -1,0 +1,18 @@
+"""Figure 7: region thickness per dimension for the matrix chain."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.thickness import (
+    RegionFigureData,
+    generate_thickness,
+    render_thickness,
+)
+
+
+def generate(config: FigureConfig) -> RegionFigureData:
+    return generate_thickness(config, "chain4")
+
+
+def render(data: RegionFigureData) -> str:
+    return render_thickness(data, "Figure 7: chain anomalous-region thickness")

@@ -1,0 +1,20 @@
+"""Figure 8: chain algorithm efficiencies along two region lines."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.traces_fig import (
+    TraceFigureData,
+    generate_chain_lines,
+    render_traces,
+)
+
+
+def generate(config: FigureConfig) -> TraceFigureData:
+    return generate_chain_lines(config, n_lines=2)
+
+
+def render(data: TraceFigureData) -> str:
+    return render_traces(
+        data, "Figure 8: chain efficiencies along lines through regions"
+    )

@@ -1,0 +1,16 @@
+"""Figure 9: time vs FLOP score scatter for ``A Aᵀ B`` anomalies."""
+
+from __future__ import annotations
+
+from repro.figures.common import FigureConfig
+from repro.figures.scatter import ScatterData, generate_scatter, render_scatter
+
+
+def generate(config: FigureConfig) -> ScatterData:
+    return generate_scatter(config, "aatb")
+
+
+def render(data: ScatterData) -> str:
+    return render_scatter(
+        data, "Figure 9: A·Aᵀ·B anomalies, time score vs FLOP score"
+    )

@@ -1,0 +1,56 @@
+"""Shared implementation of the anomaly scatter figures (6 and 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.figures.common import FigureConfig, study_for
+
+
+@dataclass(frozen=True)
+class ScatterData:
+    expression: str
+    threshold: float
+    n_samples: int
+    abundance: float
+    time_scores: Tuple[float, ...]
+    flop_scores: Tuple[float, ...]
+    instances: Tuple[Tuple[int, ...], ...]
+
+
+def generate_scatter(config: FigureConfig, expression_name: str) -> ScatterData:
+    study = study_for(config, expression_name)
+    search = study.search
+    return ScatterData(
+        expression=search.expression,
+        threshold=search.threshold,
+        n_samples=search.n_samples,
+        abundance=search.abundance,
+        time_scores=search.time_scores,
+        flop_scores=search.flop_scores,
+        instances=tuple(a.instance for a in search.anomalies),
+    )
+
+
+def render_scatter(data: ScatterData, title: str) -> str:
+    lines = [
+        title,
+        (
+            f"  {len(data.time_scores)} anomalies in {data.n_samples} "
+            f"samples (abundance {data.abundance:.2%}, threshold "
+            f"{data.threshold:.0%})"
+        ),
+        f"  {'instance':>28} {'flop score':>11} {'time score':>11}",
+    ]
+    rows = sorted(
+        zip(data.instances, data.flop_scores, data.time_scores),
+        key=lambda r: -r[2],
+    )
+    for instance, flop_score, time_score in rows[:20]:
+        lines.append(
+            f"  {str(instance):>28} {flop_score:>11.1%} {time_score:>11.1%}"
+        )
+    if len(rows) > 20:
+        lines.append(f"  ... {len(rows) - 20} more")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Table 1: confusion matrix for benchmark-predicted chain anomalies."""
+
+from __future__ import annotations
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.figures.common import FigureConfig, study_for
+
+
+def generate(config: FigureConfig) -> ConfusionMatrix:
+    return study_for(config, "chain4").confusion
+
+
+def render(matrix: ConfusionMatrix) -> str:
+    return matrix.format_table(
+        "Table 1: chain anomalies predicted from kernel benchmarks"
+    )

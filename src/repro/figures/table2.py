@@ -1,0 +1,16 @@
+"""Table 2: confusion matrix for benchmark-predicted ``A Aᵀ B`` anomalies."""
+
+from __future__ import annotations
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.figures.common import FigureConfig, study_for
+
+
+def generate(config: FigureConfig) -> ConfusionMatrix:
+    return study_for(config, "aatb").confusion
+
+
+def render(matrix: ConfusionMatrix) -> str:
+    return matrix.format_table(
+        "Table 2: A·Aᵀ·B anomalies predicted from kernel benchmarks"
+    )

@@ -1,0 +1,69 @@
+"""Shared implementation of the region-thickness figures (7 and 10)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.figures.common import FigureConfig, study_for
+
+
+@dataclass(frozen=True)
+class ThicknessDistribution:
+    dim: int
+    thicknesses: Tuple[int, ...]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.thicknesses) if self.thicknesses else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self.thicknesses) if self.thicknesses else 0
+
+
+@dataclass(frozen=True)
+class RegionFigureData:
+    expression: str
+    threshold: float
+    n_dims: int
+    distributions: Tuple[ThicknessDistribution, ...]
+
+
+def generate_thickness(
+    config: FigureConfig, expression_name: str
+) -> RegionFigureData:
+    study = study_for(config, expression_name)
+    regions = study.regions
+    distributions: List[ThicknessDistribution] = []
+    for dim in range(regions.n_dims):
+        distributions.append(
+            ThicknessDistribution(
+                dim=dim,
+                thicknesses=tuple(regions.thicknesses(dim)),
+            )
+        )
+    return RegionFigureData(
+        expression=regions.expression,
+        threshold=regions.threshold,
+        n_dims=regions.n_dims,
+        distributions=tuple(distributions),
+    )
+
+
+def render_thickness(data: RegionFigureData, title: str) -> str:
+    lines = [
+        title,
+        (
+            f"  region thickness per dimension "
+            f"(threshold {data.threshold:.0%})"
+        ),
+    ]
+    for dist in data.distributions:
+        values = " ".join(str(t) for t in sorted(dist.thicknesses))
+        lines.append(
+            f"  d{dist.dim}: median {dist.median:>6.0f}  max {dist.max:>5}  "
+            f"[{values}]"
+        )
+    return "\n".join(lines)

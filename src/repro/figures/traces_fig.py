@@ -1,0 +1,96 @@
+"""Shared implementation of the region-trace figures (8 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.traces import LineTraces, trace_line
+from repro.core.searchspace import paper_box
+from repro.figures.common import REGION_THRESHOLD, FigureConfig, study_for
+
+
+@dataclass(frozen=True)
+class TraceFigureData:
+    expression: str
+    lines: Tuple[LineTraces, ...]
+
+
+def generate_chain_lines(
+    config: FigureConfig, n_lines: int = 2
+) -> TraceFigureData:
+    """Lines through the widest dimension of distinct chain regions."""
+    study = study_for(config, "chain4")
+    box = paper_box(study.expression.n_dims)
+    lines: List[LineTraces] = []
+    for region in study.regions.regions:
+        if not region.extents:
+            continue
+        lines.append(
+            trace_line(
+                study.backend,
+                study.expression,
+                region.origin,
+                region.widest_dim(),
+                box,
+                half_points=10 if not config.is_full else 20,
+                threshold=REGION_THRESHOLD,
+            )
+        )
+        if len(lines) == n_lines:
+            break
+    return TraceFigureData(expression="chain4", lines=tuple(lines))
+
+
+def generate_aatb_lines(config: FigureConfig) -> TraceFigureData:
+    """One line per dimension through one anomalous ``A Aᵀ B`` region."""
+    study = study_for(config, "aatb")
+    box = paper_box(study.expression.n_dims)
+    origin = None
+    for region in study.regions.regions:
+        if region.extents:
+            origin = region.origin
+            break
+    if origin is None:  # pragma: no cover - search always finds some
+        raise RuntimeError("no anomalous region to trace")
+    lines = tuple(
+        trace_line(
+            study.backend,
+            study.expression,
+            origin,
+            dim,
+            box,
+            half_points=10 if not config.is_full else 20,
+            threshold=REGION_THRESHOLD,
+        )
+        for dim in range(study.expression.n_dims)
+    )
+    return TraceFigureData(expression="aatb", lines=lines)
+
+
+def render_traces(data: TraceFigureData, title: str) -> str:
+    lines_out = [title]
+    for line in data.lines:
+        lines_out.append(
+            f"  line through {line.origin} along d{line.dim} "
+            f"({len(line.anomalous_positions)} of {len(line.positions)} "
+            f"positions anomalous)"
+        )
+        short_names = [
+            trace.algorithm_name.split(":", 1)[-1] for trace in line.traces
+        ]
+        header = f"  {'pos':>6} | " + " ".join(
+            f"{name[:14]:>14}" for name in short_names
+        )
+        lines_out.append(header)
+        for i, position in enumerate(line.positions):
+            cells = []
+            for trace in line.traces:
+                point = trace.points[i]
+                mark = {"both": "*", "cheapest": "c", "fastest": "f"}.get(
+                    point.status, " "
+                )
+                cells.append(f"{point.total_efficiency:>12.3f}{mark:>2}")
+            flag = "ANOM" if position in line.anomalous_positions else ""
+            lines_out.append(f"  {position:>6} | " + " ".join(cells) + f" {flag}")
+    return "\n".join(lines_out)

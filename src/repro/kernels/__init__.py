@@ -1,0 +1,6 @@
+"""Kernel layer: the three BLAS kernels the paper's algorithms use."""
+
+from repro.kernels.flops import kernel_flops
+from repro.kernels.types import KernelCall, KernelName
+
+__all__ = ["KernelCall", "KernelName", "kernel_flops"]

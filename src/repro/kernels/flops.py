@@ -1,0 +1,47 @@
+"""Exact FLOP formulas for the three kernels.
+
+These are the counts a FLOP-minimising selector (Linnea, Armadillo,
+Julia) uses — the paper's discriminant under study.  They are valid
+for symbolic dims too (the formulas are polynomials).
+
+Conventions (double precision, multiply+add counted separately):
+
+* ``GEMM(m, n, k)``: ``C = A B`` with ``A in R^{m x k}``,
+  ``B in R^{k x n}`` — ``2 m n k`` FLOPs.
+* ``SYRK(n, k)``: ``C = A A^T`` with ``A in R^{n x k}``, only the
+  lower triangle computed — ``n (n + 1) k`` FLOPs (half of GEMM's
+  ``2 n^2 k`` up to the diagonal term).
+* ``SYMM(m, n)``: ``C = S B`` with symmetric ``S in R^{m x m}``,
+  ``B in R^{m x n}`` — ``2 m^2 n`` FLOPs (symmetry saves memory, not
+  FLOPs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.kernels.types import KernelName
+
+
+def gemm_flops(m: Any, n: Any, k: Any) -> Any:
+    return 2 * m * n * k
+
+
+def syrk_flops(n: Any, k: Any) -> Any:
+    return n * (n + 1) * k
+
+
+def symm_flops(m: Any, n: Any) -> Any:
+    return 2 * m * m * n
+
+
+_FORMULAS = {
+    KernelName.GEMM: gemm_flops,
+    KernelName.SYRK: syrk_flops,
+    KernelName.SYMM: symm_flops,
+}
+
+
+def kernel_flops(kernel: KernelName, dims: Sequence[Any]) -> Any:
+    """FLOP count of one kernel call; polynomial in ``dims``."""
+    return _FORMULAS[kernel](*dims)

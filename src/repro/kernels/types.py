@@ -1,0 +1,84 @@
+"""Kernel names and call descriptors.
+
+The paper's two expressions decompose into exactly three BLAS-3
+kernels: GEMM (general matrix product), SYRK (symmetric rank-k
+update) and SYMM (symmetric matrix product).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+class KernelName(enum.Enum):
+    """BLAS-3 kernels used by the paper's algorithm variants."""
+
+    GEMM = "gemm"
+    SYRK = "syrk"
+    SYMM = "symm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Number of size dimensions each kernel takes:
+#: GEMM(m, n, k): C[m,n] += A[m,k] B[k,n]
+#: SYRK(n, k):    C[n,n] += A[n,k] A[n,k]^T   (triangular result)
+#: SYMM(m, n):    C[m,n] += S[m,m] B[m,n]     (S symmetric)
+KERNEL_ARITY = {KernelName.GEMM: 3, KernelName.SYRK: 2, KernelName.SYMM: 2}
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """One kernel invocation inside an algorithm.
+
+    ``dims`` follows the per-kernel convention above.  Entries may be
+    plain integers or symbolic values (see :mod:`repro.core.symbolic`);
+    all derived quantities are polynomial in the dims so both work.
+
+    ``reads_previous`` marks that this call consumes the output of the
+    preceding call in the same algorithm — the hook for the simulated
+    machine's inter-kernel cache effects.
+    """
+
+    kernel: KernelName
+    dims: Tuple[Any, ...]
+    reads_previous: bool = False
+    note: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        expected = KERNEL_ARITY[self.kernel]
+        if len(self.dims) != expected:
+            raise ValueError(
+                f"{self.kernel.value} takes {expected} dims, "
+                f"got {self.dims!r}"
+            )
+
+    @property
+    def flops(self) -> Any:
+        from repro.kernels.flops import kernel_flops
+
+        return kernel_flops(self.kernel, self.dims)
+
+    def operand_elements(self) -> Any:
+        """Total matrix elements touched (inputs + output)."""
+        d = self.dims
+        if self.kernel is KernelName.GEMM:
+            m, n, k = d
+            return m * k + k * n + m * n
+        if self.kernel is KernelName.SYRK:
+            n, k = d
+            return n * k + n * n
+        m, n = d  # SYMM
+        return m * m + m * n + m * n
+
+    def output_elements(self) -> Any:
+        """Elements of the matrix this call writes (its cache residue)."""
+        d = self.dims
+        if self.kernel is KernelName.GEMM:
+            return d[0] * d[1]
+        if self.kernel is KernelName.SYRK:
+            return d[0] * d[0]
+        return d[0] * d[1]  # SYMM

@@ -1,0 +1,7 @@
+"""Machine layer: hardware spec, noise model, machine model, presets."""
+
+from repro.machine.machine import MachineModel
+from repro.machine.noise import NoiseModel
+from repro.machine.spec import MachineSpec, xeon_silver_4210_like
+
+__all__ = ["MachineModel", "MachineSpec", "NoiseModel", "xeon_silver_4210_like"]

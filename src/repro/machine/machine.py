@@ -1,0 +1,189 @@
+"""Analytic machine model: kernel efficiency and execution time.
+
+The model composes four effects, each traceable to a mechanism the
+paper discusses:
+
+1. **Efficiency ramps** — each kernel approaches its plateau as
+   ``d / (d + ramp_d)`` per dimension, limited by its *worst*
+   dimension.  GEMM tolerates one small extent (rank-k updates);
+   SYRK/SYMM degrade sharply when their symmetric extent is small.
+   This asymmetry is what makes the FLOP-cheapest ``A Aᵀ B``
+   algorithms slow at small ``d0`` (the paper's anomalous regions),
+   and it is *gradual* — the paper's second transition type.
+
+2. **Variant dispatch** — below an internal blocking boundary a
+   kernel runs a different variant at lower efficiency, producing
+   *abrupt* efficiency jumps (§4.3).  Disabled in
+   :func:`repro.machine.presets.no_variants_machine`.
+
+3. **Thread balance** — work splits across ``cores`` chunks along the
+   kernel's parallel dimension; the last partial chunk idles cores,
+   a staircase that matters below ~20 chunks.
+
+4. **Inter-kernel cache effects** — inside a multi-kernel algorithm a
+   consumer kernel streams over data the producer left cache-resident
+   in an unfavourable layout; the resulting conflict misses are
+   invisible to isolated (flushed-cache) kernel benchmarks.  This is
+   the paper's explanation for Experiment 3's false negatives.
+   Disabled in :func:`repro.machine.presets.no_cache_machine`.
+
+Measured times add stateless multiplicative noise (median of
+``reps`` repetitions, the paper's protocol).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Optional, Sequence
+
+from repro.kernels.flops import kernel_flops
+from repro.kernels.types import KernelCall, KernelName
+from repro.machine.noise import NoiseModel
+from repro.machine.spec import MachineSpec
+
+#: Relative cost of the conflict misses a *producer* kernel's cache
+#: residue inflicts on its consumer.  SYRK leaves a packed triangle
+#: behind — the consumer re-reads it as a symmetric matrix through a
+#: layout the producer never streamed, the worst case; a GEMM producer
+#: leaves a contiguously written full matrix, the best case.
+_INTERFERENCE = {
+    KernelName.SYRK: 0.15,
+    KernelName.SYMM: 0.06,
+    KernelName.GEMM: 0.02,
+}
+
+
+class MachineModel:
+    """Deterministic timing model for one machine configuration."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        noise: Optional[NoiseModel] = None,
+        reps: int = 5,
+        variant_dispatch: bool = True,
+        cache_effects: bool = True,
+    ) -> None:
+        if reps < 1:
+            raise ValueError("reps must be >= 1")
+        self.spec = spec
+        self.noise = noise if noise is not None else NoiseModel()
+        self.reps = reps
+        self.variant_dispatch = variant_dispatch
+        self.cache_effects = cache_effects
+
+    @property
+    def peak_flops(self) -> float:
+        return self.spec.peak_flops
+
+    # ------------------------------------------------------------------
+    # Noise-free analytic quantities
+    # ------------------------------------------------------------------
+
+    def efficiency(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        """Fraction of machine peak this kernel call sustains."""
+        perf = self.spec.kernel_perf[kernel]
+        if len(dims) != len(perf.ramps):
+            raise ValueError(
+                f"{kernel.value} expects {len(perf.ramps)} dims, "
+                f"got {tuple(dims)!r}"
+            )
+        if any(d < 1 for d in dims):
+            raise ValueError(f"dims must be positive, got {tuple(dims)!r}")
+        eff = perf.plateau
+        factors = [
+            (d / (d + ramp)) ** exponent
+            for d, ramp, exponent in zip(dims, perf.ramps, perf.exponents)
+        ]
+        if perf.ramp_mode == "product":
+            for factor in factors:
+                eff *= factor
+        else:
+            eff *= min(factors)
+        if self.variant_dispatch:
+            for dim, boundary, below_factor in perf.variant_boundaries:
+                if dims[dim] < boundary:
+                    eff *= below_factor
+        # Thread balance along the parallel dimension.
+        d_par = dims[perf.parallel_dim]
+        cores = self.spec.cores
+        eff *= d_par / (math.ceil(d_par / cores) * cores)
+        return eff
+
+    def kernel_seconds(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        """Noise-free execution time of one isolated kernel call."""
+        flops = float(kernel_flops(kernel, dims))
+        return flops / (self.efficiency(kernel, dims) * self.peak_flops)
+
+    def interference_penalty(self, producer: KernelCall, consumer: KernelCall) -> float:
+        """Relative slowdown of ``consumer`` from the producer's cache residue.
+
+        Scales with how much of the private cache the consumer's
+        working set plus the producer's just-written residue occupy —
+        so two schedules of the same plan whose final product consumes
+        differently-sized residues are genuinely (not just noise-)
+        distinct.
+        """
+        if not self.cache_effects:
+            return 0.0
+        ws_bytes = 8 * int(consumer.operand_elements())
+        residue_bytes = 8 * int(producer.output_elements())
+        occupancy = min(
+            1.0, (ws_bytes + residue_bytes) / self.spec.l2_bytes
+        )
+        return _INTERFERENCE[producer.kernel] * occupancy
+
+    # ------------------------------------------------------------------
+    # Measurements (noise + median-of-reps)
+    # ------------------------------------------------------------------
+
+    def _measure(self, base_seconds: float, key: str) -> float:
+        samples = [
+            base_seconds * self.noise.factor(key, rep)
+            for rep in range(self.reps)
+        ]
+        return statistics.median(samples)
+
+    def measure_kernel(self, kernel: KernelName, dims: Sequence[int]) -> float:
+        """Median measured time of one isolated (flushed-cache) call."""
+        base = self.kernel_seconds(kernel, dims)
+        key = f"{kernel.value}|{tuple(dims)}"
+        return self._measure(base, key)
+
+    def measure_algorithm(
+        self, calls: Sequence[KernelCall], context: str = ""
+    ) -> float:
+        """Median measured time of a whole multi-kernel algorithm run.
+
+        ``context`` (typically the algorithm name) decorrelates the
+        noise of this run from every other measurement: two algorithms
+        sharing an identical kernel call still time it independently,
+        as they would on real hardware.
+        """
+        total = 0.0
+        previous: Optional[KernelCall] = None
+        for index, call in enumerate(calls):
+            base = self.kernel_seconds(call.kernel, call.dims)
+            if previous is not None and call.reads_previous:
+                base *= 1.0 + self.interference_penalty(previous, call)
+            key = f"{context}|{index}|{call.kernel.value}|{tuple(call.dims)}"
+            total += self._measure(base, key)
+            previous = call
+        return total
+
+    def predict_algorithm(
+        self, calls: Sequence[KernelCall], context: str = ""
+    ) -> float:
+        """Sum of per-kernel times (Experiment 3's benchmark predictor).
+
+        Uses the same noise stream as :meth:`measure_algorithm` so the
+        prediction error isolates exactly what isolated benchmarks
+        cannot see — the inter-kernel cache effects.
+        """
+        total = 0.0
+        for index, call in enumerate(calls):
+            base = self.kernel_seconds(call.kernel, call.dims)
+            key = f"{context}|{index}|{call.kernel.value}|{tuple(call.dims)}"
+            total += self._measure(base, key)
+        return total

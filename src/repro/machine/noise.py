@@ -1,0 +1,58 @@
+"""Measurement-noise model for the simulated machine.
+
+Real timings fluctuate (DVFS, co-scheduled daemons, page faults); the
+paper counters this with pinned cores, cache flushing and median-of-k
+repetitions, plus the §3.4.2 hole-tolerance rule when traversing
+regions.  The simulated counterpart is *stateless*: the noise factor
+for a measurement is a pure function of ``(seed, key, rep)``, so a
+measurement repeated anywhere in a pipeline reproduces exactly —
+order-independent determinism, which the experiment code relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def _unit_from_hash(payload: bytes) -> Tuple[float, float]:
+    """Two deterministic U(0,1) samples from one hashed payload."""
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    a, b = struct.unpack("<QQ", digest)
+    scale = 2.0**64
+    # Offset by half an ulp so neither sample is ever exactly 0.
+    return (a + 0.5) / scale, (b + 0.5) / scale
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative log-normal jitter plus occasional spikes.
+
+    ``sigma``              log-std of the per-measurement factor.
+    ``spike_probability``  chance a measurement is hit by an external
+                           event, multiplying time by up to 3x (spikes
+                           only slow down — they never speed up).
+    ``seed``               stream selector; two models with different
+                           seeds are independent.
+    """
+
+    sigma: float = 0.0
+    spike_probability: float = 0.0
+    seed: int = 0
+
+    def factor(self, key: str, rep: int) -> float:
+        """Deterministic noise factor (>= ~0) for one measurement."""
+        if self.sigma == 0.0 and self.spike_probability == 0.0:
+            return 1.0
+        u, v = _unit_from_hash(f"{self.seed}|{key}|{rep}".encode())
+        # Box-Muller from the two uniforms.
+        gauss = math.sqrt(-2.0 * math.log(u)) * math.cos(2.0 * math.pi * v)
+        value = math.exp(self.sigma * gauss)
+        if self.spike_probability > 0.0:
+            s, m = _unit_from_hash(f"spike|{self.seed}|{key}|{rep}".encode())
+            if s < self.spike_probability:
+                value *= 1.0 + 2.0 * m
+        return value

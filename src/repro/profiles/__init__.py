@@ -1,0 +1,5 @@
+"""Profiles layer: one-off kernel benchmarking and profile analysis."""
+
+from repro.profiles.benchmark import Profile, build_all_profiles, build_profile
+
+__all__ = ["Profile", "build_all_profiles", "build_profile"]

@@ -1,0 +1,85 @@
+"""Efficiency scans and abrupt-change detection (paper §4.3, §5).
+
+The paper distinguishes *abrupt* region boundaries (caused by
+internal kernel-variant dispatch) from *gradual* ones.  Scanning a
+kernel's efficiency along one dimension and flagging jumps between
+consecutive samples localises the abrupt frontiers — the places where
+the paper conjectures FLOP-based selection is least trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.backends.base import Backend
+from repro.kernels.flops import kernel_flops
+from repro.kernels.types import KernelName
+
+
+@dataclass(frozen=True)
+class AbruptChange:
+    """One detected jump: efficiency steps from ``before`` to ``after``
+    when the scanned dimension reaches ``position``."""
+
+    kernel: KernelName
+    axis: int
+    position: int
+    before: float
+    after: float
+
+    @property
+    def magnitude(self) -> float:
+        return abs(self.after - self.before)
+
+
+def scan_efficiency(
+    backend: Backend,
+    kernel: KernelName,
+    base: Sequence[int],
+    axis: int,
+    positions: Iterable[int],
+) -> List[Tuple[int, float]]:
+    """Measure kernel efficiency along one dimension.
+
+    ``base`` supplies the fixed dims; ``base[axis]`` is replaced by
+    each position.  Efficiency is FLOPs / (measured time x peak).
+    """
+    base = list(base)
+    if not 0 <= axis < len(base):
+        raise ValueError(f"axis {axis} out of range for {base!r}")
+    series: List[Tuple[int, float]] = []
+    for position in positions:
+        dims = tuple(
+            int(position) if i == axis else int(d)
+            for i, d in enumerate(base)
+        )
+        seconds = backend.time_kernel(kernel, dims)
+        efficiency = float(kernel_flops(kernel, dims)) / (
+            seconds * backend.peak_flops
+        )
+        series.append((dims[axis], efficiency))
+    return series
+
+
+def find_abrupt_changes(
+    series: Sequence[Tuple[int, float]],
+    *,
+    kernel: KernelName,
+    axis: int,
+    threshold: float = 0.08,
+) -> List[AbruptChange]:
+    """Jumps larger than ``threshold`` between consecutive samples."""
+    changes: List[AbruptChange] = []
+    for (_, before), (position, after) in zip(series, series[1:]):
+        if abs(after - before) > threshold:
+            changes.append(
+                AbruptChange(
+                    kernel=kernel,
+                    axis=axis,
+                    position=position,
+                    before=before,
+                    after=after,
+                )
+            )
+    return changes

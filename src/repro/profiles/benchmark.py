@@ -1,0 +1,105 @@
+"""Kernel performance profiles: benchmark once per machine, reuse forever.
+
+A profile stores measured isolated-kernel times on a per-axis size
+grid and predicts the time of an arbitrary call by multilinear
+interpolation in log-log space (BLAS times are near power-law in each
+dimension, so log-log interpolation stays accurate across the
+20..1400 range with a handful of grid points).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.kernels.types import KERNEL_ARITY, KernelName
+
+
+@dataclass(frozen=True)
+class Profile:
+    kernel: KernelName
+    axes: Tuple[Tuple[int, ...], ...]
+    times: np.ndarray  # shape = tuple(len(axis) for axis in axes)
+
+    def __post_init__(self) -> None:
+        expected = tuple(len(axis) for axis in self.axes)
+        if tuple(self.times.shape) != expected:
+            raise ValueError(
+                f"times shape {self.times.shape} != grid {expected}"
+            )
+        if any(len(axis) < 2 for axis in self.axes):
+            raise ValueError("each axis needs at least two grid points")
+        object.__setattr__(self, "_log_times", np.log(self.times))
+
+    @property
+    def n_points(self) -> int:
+        return int(self.times.size)
+
+    def predict(self, dims: Sequence[int]) -> float:
+        """Interpolated time for one call; clamped outside the grid."""
+        if len(dims) != len(self.axes):
+            raise ValueError(
+                f"{self.kernel.value} takes {len(self.axes)} dims"
+            )
+        log_times = self._log_times
+        # Per-axis: find bracketing grid cell and log-space weight.
+        corners = []
+        for value, axis in zip(dims, self.axes):
+            v = min(max(float(value), axis[0]), axis[-1])
+            hi = 1
+            while hi < len(axis) - 1 and axis[hi] < v:
+                hi += 1
+            lo = hi - 1
+            weight = (math.log(v) - math.log(axis[lo])) / (
+                math.log(axis[hi]) - math.log(axis[lo])
+            )
+            corners.append((lo, hi, weight))
+        # Multilinear blend over the 2^n cell corners.
+        total = 0.0
+        n = len(corners)
+        for mask in range(1 << n):
+            weight = 1.0
+            index = []
+            for axis_i, (lo, hi, w) in enumerate(corners):
+                if mask >> axis_i & 1:
+                    weight *= w
+                    index.append(hi)
+                else:
+                    weight *= 1.0 - w
+                    index.append(lo)
+            if weight:
+                total += weight * float(log_times[tuple(index)])
+        return math.exp(total)
+
+
+def build_profile(
+    backend: Backend, kernel: KernelName, axes: Sequence[Sequence[int]]
+) -> Profile:
+    """Benchmark one kernel over the full grid of axis values."""
+    axes_t = tuple(tuple(int(v) for v in axis) for axis in axes)
+    if len(axes_t) != KERNEL_ARITY[kernel]:
+        raise ValueError(
+            f"{kernel.value} takes {KERNEL_ARITY[kernel]} axes, "
+            f"got {len(axes_t)}"
+        )
+    shape = tuple(len(axis) for axis in axes_t)
+    times = np.empty(shape)
+    for index in np.ndindex(*shape):
+        dims = tuple(axis[i] for axis, i in zip(axes_t, index))
+        times[index] = backend.time_kernel(kernel, dims)
+    return Profile(kernel=kernel, axes=axes_t, times=times)
+
+
+def build_all_profiles(
+    backend: Backend,
+    axes_by_kernel: Dict[KernelName, Sequence[Sequence[int]]],
+) -> Dict[KernelName, Profile]:
+    """The one-off per-machine benchmarking pass (paper §5's proposal)."""
+    return {
+        kernel: build_profile(backend, kernel, axes)
+        for kernel, axes in axes_by_kernel.items()
+    }

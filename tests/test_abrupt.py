@@ -1,0 +1,61 @@
+"""find_abrupt_changes on synthetic series; scans on the model."""
+
+from repro.backends.simulated import SimulatedBackend
+from repro.kernels.types import KernelName
+from repro.machine.presets import no_variants_machine, paper_machine
+from repro.profiles.abrupt import find_abrupt_changes, scan_efficiency
+
+
+def test_find_abrupt_changes_on_synthetic_step():
+    series = [(100, 0.50), (110, 0.51), (120, 0.62), (130, 0.63)]
+    changes = find_abrupt_changes(
+        series, kernel=KernelName.GEMM, axis=0, threshold=0.08
+    )
+    assert len(changes) == 1
+    change = changes[0]
+    assert change.position == 120
+    assert change.before == 0.51
+    assert change.after == 0.62
+    assert change.magnitude > 0.08
+
+
+def test_find_abrupt_changes_ignores_gradual_ramp():
+    series = [(i, 0.3 + 0.01 * i) for i in range(10)]
+    assert (
+        find_abrupt_changes(
+            series, kernel=KernelName.SYRK, axis=0, threshold=0.08
+        )
+        == []
+    )
+
+
+def test_scan_crosses_the_syrk_variant_boundary():
+    backend = SimulatedBackend(paper_machine(seed=0))
+    series = scan_efficiency(
+        backend, KernelName.SYRK, (0, 500), axis=0,
+        positions=range(400, 500, 10),
+    )
+    changes = find_abrupt_changes(
+        series, kernel=KernelName.SYRK, axis=0, threshold=0.08
+    )
+    assert len(changes) == 1
+    assert changes[0].position == 450  # boundary at n = 448
+    assert changes[0].after > changes[0].before
+
+
+def test_no_variants_machine_scans_are_gradual():
+    backend = SimulatedBackend(no_variants_machine(seed=0))
+    for kernel, base in (
+        (KernelName.SYRK, (0, 500)),
+        (KernelName.SYMM, (0, 500)),
+        (KernelName.GEMM, (0, 500, 500)),
+    ):
+        series = scan_efficiency(
+            backend, kernel, base, axis=0, positions=range(200, 1100, 10)
+        )
+        assert (
+            find_abrupt_changes(
+                series, kernel=kernel, axis=0, threshold=0.08
+            )
+            == []
+        )

@@ -1,0 +1,83 @@
+"""Backends: simulated determinism and real-BLAS correctness."""
+
+import pytest
+
+from repro.backends.real import RealBlasBackend
+from repro.backends.simulated import SimulatedBackend
+from repro.core.classify import classify, evaluate_instance
+from repro.expressions.registry import get_expression
+from repro.machine.presets import paper_machine
+
+
+def test_simulated_backend_is_deterministic_across_instances():
+    aatb = get_expression("aatb")
+    algorithms = aatb.algorithms()
+    instance = (92, 1095, 323)
+    a = evaluate_instance(
+        SimulatedBackend(paper_machine(seed=0)), algorithms, instance
+    )
+    b = evaluate_instance(
+        SimulatedBackend(paper_machine(seed=0)), algorithms, instance
+    )
+    assert a == b
+    c = evaluate_instance(
+        SimulatedBackend(paper_machine(seed=1)), algorithms, instance
+    )
+    assert a.seconds != c.seconds  # different noise stream
+    assert a.flops == c.flops  # FLOPs are noise-free
+
+
+def test_quickstart_instance_is_anomalous():
+    # The instance examples/quickstart.py calls "deep in an anomalous
+    # region" must classify as an anomaly at the paper threshold.
+    backend = SimulatedBackend()
+    aatb = get_expression("aatb")
+    verdict = classify(
+        evaluate_instance(backend, aatb.algorithms(), (92, 1095, 323)),
+        threshold=0.10,
+    )
+    assert verdict.is_anomaly
+    assert set(verdict.cheapest) == {
+        "aatb-1:syrk+symm",
+        "aatb-2:syrk+copy+gemm",
+    }
+    assert all("gemm" in name for name in verdict.fastest)
+
+
+def test_total_efficiency_bounded_by_one():
+    backend = SimulatedBackend(paper_machine(seed=0))
+    chain = get_expression("chain4")
+    evaluation = evaluate_instance(
+        backend, chain.algorithms(), (600, 400, 500, 450, 550)
+    )
+    for flops, seconds in zip(evaluation.flops, evaluation.seconds):
+        assert 0.0 < flops / (seconds * backend.peak_flops) < 1.0
+
+
+def test_real_backend_verifies_all_aatb_algorithms():
+    backend = RealBlasBackend(reps=1)
+    aatb = get_expression("aatb")
+    for algorithm in aatb.algorithms():
+        assert backend.verify_algorithm(algorithm, (24, 17, 9)) < 1e-10
+
+
+def test_real_backend_verifies_all_chain_plans():
+    backend = RealBlasBackend(reps=1)
+    chain = get_expression("chain4")
+    for algorithm in chain.algorithms():
+        assert backend.verify_algorithm(algorithm, (8, 13, 5, 9, 11)) < 1e-10
+
+
+def test_real_backend_times_are_positive():
+    backend = RealBlasBackend(reps=1)
+    aatb = get_expression("aatb")
+    algorithm = aatb.algorithms()[0]
+    assert backend.time_algorithm(algorithm, (32, 32, 32)) > 0
+    from repro.kernels.types import KernelName
+
+    assert backend.time_kernel(KernelName.GEMM, (32, 32, 32)) > 0
+
+
+def test_backends_reject_bad_reps():
+    with pytest.raises(ValueError):
+        RealBlasBackend(reps=0)

@@ -1,0 +1,75 @@
+"""classify() edge cases at/below/above the 10% threshold."""
+
+import pytest
+
+from repro.core.classify import Evaluation, classify
+
+
+def _evaluation(flops, seconds):
+    names = tuple(f"a{i}" for i in range(len(flops)))
+    return Evaluation(
+        instance=(1,),
+        algorithm_names=names,
+        flops=tuple(flops),
+        seconds=tuple(seconds),
+    )
+
+
+def test_below_threshold_is_not_anomaly():
+    # Cheapest is 9.0909..% slower than fastest: below a 10% threshold.
+    ev = _evaluation([100, 200], [1.10, 1.00])
+    verdict = classify(ev, threshold=0.10)
+    assert not verdict.is_anomaly
+    assert verdict.time_score == pytest.approx(1 - 1.00 / 1.10)
+
+
+def test_exactly_at_threshold_is_not_anomaly():
+    # time score exactly 0.2 -- the rule is strictly greater-than.
+    ev = _evaluation([100, 200], [1.25, 1.00])
+    verdict = classify(ev, threshold=0.2)
+    assert verdict.time_score == pytest.approx(0.2)
+    assert not verdict.is_anomaly
+
+
+def test_above_threshold_is_anomaly():
+    ev = _evaluation([100, 200], [1.50, 1.00])
+    verdict = classify(ev, threshold=0.10)
+    assert verdict.is_anomaly
+    assert verdict.time_score == pytest.approx(1 / 3)
+    assert verdict.cheapest == ("a0",)
+    assert verdict.fastest == ("a1",)
+    # The fastest spends 100% more FLOPs -> flop score 1 - 100/200.
+    assert verdict.flop_score == pytest.approx(0.5)
+
+
+def test_cheapest_set_gets_benefit_of_the_doubt():
+    # Two FLOP-minimal algorithms; the better one is the fastest
+    # overall, so the instance cannot be anomalous (paper §3.3).
+    ev = _evaluation([100, 100, 300], [2.0, 1.0, 1.5])
+    verdict = classify(ev, threshold=0.0)
+    assert verdict.time_score == 0.0
+    assert not verdict.is_anomaly
+    assert set(verdict.cheapest) == {"a0", "a1"}
+
+
+def test_flop_ties_are_exact_and_time_ties_tolerant():
+    ev = _evaluation([100, 100, 101], [1.0, 1.0 + 1e-12, 0.9])
+    assert ev.cheapest_indices() == [0, 1]
+    ev2 = _evaluation([100, 100], [1.0, 1.0 + 1e-12])
+    assert ev2.fastest_indices() == [0, 1]
+
+
+def test_classify_rejects_negative_threshold():
+    ev = _evaluation([1], [1.0])
+    with pytest.raises(ValueError):
+        classify(ev, threshold=-0.1)
+
+
+def test_evaluation_rejects_ragged_input():
+    with pytest.raises(ValueError):
+        Evaluation(
+            instance=(1,),
+            algorithm_names=("a",),
+            flops=(1, 2),
+            seconds=(1.0,),
+        )

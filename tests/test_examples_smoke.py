@@ -1,0 +1,38 @@
+"""Every example must run end-to-end (ISSUE 1 satellite task)."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(
+    path.name for path in (REPO_ROOT / "examples").glob("*.py")
+)
+
+
+def test_all_six_examples_are_covered():
+    assert len(EXAMPLES) == 6
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_end_to_end(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / example)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed\nstdout:\n{result.stdout}\n"
+        f"stderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"

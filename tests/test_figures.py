@@ -1,0 +1,28 @@
+"""Figure config and study cache behaviour."""
+
+import pytest
+
+from repro.figures.common import FigureConfig, clear_study_cache, study_for
+
+
+def test_figure_config_validates_scale():
+    assert FigureConfig(scale="quick", seed=0).fig1_sizes()[0] == 20
+    assert FigureConfig(scale="full").is_full
+    with pytest.raises(ValueError):
+        FigureConfig(scale="huge")
+
+
+def test_study_cache_returns_same_object():
+    clear_study_cache()
+    config = FigureConfig(scale="quick", seed=0)
+    try:
+        study_a = study_for(config, "aatb")
+        study_b = study_for(config, "aatb")
+        assert study_a is study_b
+        assert study_a.search.anomalies
+        assert study_a.confusion.total > 0
+        # A different seed is a different cache entry.
+        study_c = study_for(FigureConfig(scale="quick", seed=1), "aatb")
+        assert study_c is not study_a
+    finally:
+        clear_study_cache()

@@ -1,0 +1,112 @@
+"""Exact FLOP counts against hand-computed values (ISSUE 1 spec)."""
+
+import pytest
+
+from repro.expressions.chain import optimal_parenthesisation
+from repro.expressions.registry import get_expression
+from repro.expressions.trees import tree_name
+from repro.kernels.flops import gemm_flops, kernel_flops, symm_flops, syrk_flops
+from repro.kernels.types import KernelName
+
+# Chain boundary dims (A: 2x3, B: 3x5, C: 5x7, D: 7x11) — small primes
+# so every product below is hand-checkable.
+CHAIN_DIMS = (2, 3, 5, 7, 11)
+
+#: Hand-computed 2mnk totals for every parenthesisation of A B C D.
+CHAIN_EXPECTED = {
+    "A(B(CD))": 770 + 330 + 132,  # 1232
+    "A((BC)D)": 210 + 462 + 132,  # 804
+    "(AB)(CD)": 60 + 770 + 220,  # 1050
+    "(A(BC))D": 210 + 84 + 308,  # 602
+    "((AB)C)D": 60 + 140 + 308,  # 508
+}
+
+
+def _plan_label(name: str) -> str:
+    """chain4-3:(AB)(CD)/left-first -> (AB)(CD)"""
+    return name.split(":", 1)[1].split("/", 1)[0]
+
+
+def test_kernel_flop_formulas():
+    assert gemm_flops(2, 5, 3) == 60
+    assert syrk_flops(3, 5) == 3 * 4 * 5 == 60
+    assert symm_flops(3, 7) == 2 * 9 * 7 == 126
+    assert kernel_flops(KernelName.GEMM, (4, 4, 4)) == 128
+
+
+def test_chain4_has_six_plans_over_five_trees():
+    algorithms = get_expression("chain4").algorithms()
+    assert len(algorithms) == 6
+    assert len({_plan_label(a.name) for a in algorithms}) == 5
+
+
+def test_chain4_flops_match_hand_computed_values():
+    algorithms = get_expression("chain4").algorithms()
+    seen = {}
+    for algorithm in algorithms:
+        label = _plan_label(algorithm.name)
+        assert label in CHAIN_EXPECTED, label
+        seen[label] = int(algorithm.flops(CHAIN_DIMS))
+        assert seen[label] == CHAIN_EXPECTED[label]
+    assert set(seen) == set(CHAIN_EXPECTED)
+
+
+def test_chain4_schedules_tie_in_flops():
+    algorithms = get_expression("chain4").algorithms()
+    split_plans = [
+        a for a in algorithms if _plan_label(a.name) == "(AB)(CD)"
+    ]
+    assert len(split_plans) == 2
+    a, b = split_plans
+    assert int(a.flops(CHAIN_DIMS)) == int(b.flops(CHAIN_DIMS))
+
+
+def test_optimal_parenthesisation_picks_cheapest_tree():
+    tree, flops = optimal_parenthesisation(CHAIN_DIMS)
+    assert flops == min(CHAIN_EXPECTED.values()) == 508
+    assert tree_name(tree, "ABCD") == "((AB)C)D"
+
+
+def test_optimal_parenthesisation_classic_textbook_case():
+    # CLRS example: dims (10, 100, 5, 50) -> ((A B) C), 2*7500 FLOPs.
+    tree, flops = optimal_parenthesisation((10, 100, 5, 50))
+    assert tree_name(tree, "ABC") == "(AB)C"
+    assert flops == 2 * (10 * 100 * 5 + 10 * 5 * 50)
+
+
+AATB_INSTANCE = (3, 5, 7)
+
+AATB_EXPECTED = {
+    "aatb-1:syrk+symm": 60 + 126,  # 186
+    "aatb-2:syrk+copy+gemm": 60 + 126,  # 186 (copy is FLOP-free)
+    "aatb-3:gemm+gemm": 90 + 126,  # 216
+    "aatb-4:gemm+symm": 90 + 126,  # 216
+    "aatb-5:gemm+gemm-right": 210 + 210,  # 420
+}
+
+
+def test_aatb_flops_match_hand_computed_values():
+    algorithms = get_expression("aatb").algorithms()
+    assert {a.name for a in algorithms} == set(AATB_EXPECTED)
+    for algorithm in algorithms:
+        assert int(algorithm.flops(AATB_INSTANCE)) == AATB_EXPECTED[
+            algorithm.name
+        ], algorithm.name
+
+
+def test_aatb_algorithm_pairs_tie_exactly_everywhere():
+    algorithms = {a.name: a for a in get_expression("aatb").algorithms()}
+    for instance in [(3, 5, 7), (20, 1200, 20), (555, 123, 999)]:
+        assert algorithms["aatb-1:syrk+symm"].flops(instance) == algorithms[
+            "aatb-2:syrk+copy+gemm"
+        ].flops(instance)
+        assert algorithms["aatb-3:gemm+gemm"].flops(instance) == algorithms[
+            "aatb-4:gemm+symm"
+        ].flops(instance)
+
+
+def test_kernel_call_rejects_wrong_arity():
+    from repro.kernels.types import KernelCall
+
+    with pytest.raises(ValueError):
+        KernelCall(KernelName.SYRK, (1, 2, 3))

@@ -1,0 +1,95 @@
+"""Profile interpolation and confusion-matrix arithmetic."""
+
+import pytest
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.backends.simulated import SimulatedBackend
+from repro.core.discriminants import (
+    FlopsProfileHybrid,
+    MinFlopsDiscriminant,
+)
+from repro.expressions.registry import get_expression
+from repro.kernels.types import KernelName
+from repro.machine.machine import MachineModel
+from repro.machine.spec import xeon_silver_4210_like
+from repro.profiles.benchmark import build_all_profiles, build_profile
+
+GRID = (32, 64, 128, 256, 512, 1024)
+
+
+def _noise_free_backend():
+    return SimulatedBackend(MachineModel(xeon_silver_4210_like(), reps=1))
+
+
+def test_profile_is_exact_on_grid_points():
+    backend = _noise_free_backend()
+    profile = build_profile(backend, KernelName.SYRK, (GRID, GRID))
+    assert profile.n_points == len(GRID) ** 2
+    for n in (32, 256, 1024):
+        for k in (64, 512):
+            assert profile.predict((n, k)) == pytest.approx(
+                backend.time_kernel(KernelName.SYRK, (n, k))
+            )
+
+
+def test_profile_interpolates_between_grid_points():
+    backend = _noise_free_backend()
+    profile = build_profile(backend, KernelName.GEMM, (GRID,) * 3)
+    dims = (96, 192, 384)  # off-grid everywhere
+    predicted = profile.predict(dims)
+    actual = backend.time_kernel(KernelName.GEMM, dims)
+    assert predicted == pytest.approx(actual, rel=0.35)
+    # And clamps outside the grid instead of extrapolating wildly.
+    assert profile.predict((2000, 2000, 2000)) == pytest.approx(
+        profile.predict((1024, 1024, 1024))
+    )
+
+
+def test_hybrid_discriminant_shortlists_by_flops():
+    backend = _noise_free_backend()
+    aatb = get_expression("aatb")
+    profiles = build_all_profiles(
+        backend,
+        axes_by_kernel={
+            KernelName.GEMM: (GRID,) * 3,
+            KernelName.SYRK: (GRID,) * 2,
+            KernelName.SYMM: (GRID,) * 2,
+        },
+    )
+    algorithms = aatb.algorithms()
+    # Inside the anomalous region with the GEMM pair within the 1.5x
+    # FLOP margin: min-FLOPs picks a SYRK-based algorithm, the hybrid
+    # escapes to a GEMM-based one.
+    instance = (92, 600, 600)
+    min_flops_pick = MinFlopsDiscriminant().select(algorithms, instance)
+    hybrid_pick = FlopsProfileHybrid(profiles, margin=0.5).select(
+        algorithms, instance
+    )
+    assert "syrk" in algorithms[min_flops_pick].name
+    assert algorithms[hybrid_pick].name.startswith("aatb-4")
+    # Outside the margin (FLOP ratio 1.62 > 1.5) the hybrid must stay
+    # with the FLOP-cheapest pair — it never buys >margin extra FLOPs.
+    narrow = FlopsProfileHybrid(profiles, margin=0.5).select(
+        algorithms, (92, 1095, 323)
+    )
+    assert narrow in (0, 1)
+    # With zero margin the hybrid degenerates to best-of-cheapest-set.
+    strict = FlopsProfileHybrid(profiles, margin=0.0).select(
+        algorithms, instance
+    )
+    assert strict in (0, 1)
+
+
+def test_confusion_matrix_arithmetic():
+    matrix = ConfusionMatrix(
+        true_positive=9, false_positive=1, false_negative=3, true_negative=37
+    )
+    assert matrix.total == 50
+    assert matrix.actual_yes == 12
+    assert matrix.predicted_yes == 10
+    assert matrix.recall == pytest.approx(0.75)
+    assert matrix.precision == pytest.approx(0.9)
+    empty = ConfusionMatrix(0, 0, 0, 5)
+    assert empty.recall == 1.0 and empty.precision == 1.0
+    table = matrix.format_table("title")
+    assert "title" in table and "75.0%" in table

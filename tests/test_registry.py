@@ -1,0 +1,43 @@
+"""Expression registry round-trip (ISSUE 1 spec)."""
+
+import pytest
+
+from repro.expressions.registry import get_expression, known_expressions
+
+
+def test_round_trip_known_names():
+    for name in ("chain4", "aatb"):
+        expression = get_expression(name)
+        assert expression.name == name
+        assert expression.algorithms()
+    assert get_expression("aatb") is get_expression("aatb")
+
+
+def test_expected_dimensionalities():
+    assert get_expression("chain4").n_dims == 5
+    assert get_expression("aatb").n_dims == 3
+
+
+def test_unknown_name_raises_with_known_list():
+    with pytest.raises(KeyError) as excinfo:
+        get_expression("nope")
+    message = str(excinfo.value)
+    assert "nope" in message
+    assert "aatb" in message
+
+
+def test_chain_names_materialise_on_demand():
+    chain3 = get_expression("chain3")
+    assert chain3.n_dims == 4
+    assert "chain3" in known_expressions()
+    # Catalan(2) = 2 trees, no dual-schedule roots for 3 matrices.
+    assert len(chain3.algorithms()) == 2
+    with pytest.raises(KeyError):
+        get_expression("chain1")
+
+
+def test_algorithm_names_are_unique_per_expression():
+    for name in ("chain4", "aatb", "chain5"):
+        algorithms = get_expression(name).algorithms()
+        names = [a.name for a in algorithms]
+        assert len(names) == len(set(names))
