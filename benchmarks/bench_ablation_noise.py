@@ -10,7 +10,7 @@ threshold, measured as the symmetric difference against ground truth.
 import random
 
 from repro.backends.simulated import SimulatedBackend
-from repro.core.classify import classify, evaluate_instance
+from repro.core.classify import classify_batch, evaluate_instances
 from repro.core.searchspace import paper_box
 from repro.expressions.registry import get_expression
 from repro.machine.machine import MachineModel
@@ -37,11 +37,13 @@ def test_noise_flips_borderline_classifications(run_once, fig_config):
     algorithms = expression.algorithms()
 
     def classify_all(backend, instances):
-        out = []
-        for instance in instances:
-            evaluation = evaluate_instance(backend, algorithms, instance)
-            out.append(classify(evaluation, threshold=0.10).is_anomaly)
-        return out
+        return [
+            verdict.is_anomaly
+            for verdict in classify_batch(
+                evaluate_instances(backend, algorithms, instances),
+                threshold=0.10,
+            )
+        ]
 
     def run():
         rng = random.Random(fig_config.seed)

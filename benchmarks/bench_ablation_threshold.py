@@ -9,7 +9,7 @@ abundance must be monotonically non-increasing in the threshold.
 import random
 
 from repro.backends.simulated import SimulatedBackend
-from repro.core.classify import classify, evaluate_instance
+from repro.core.classify import classify_batch, evaluate_instances
 from repro.core.searchspace import paper_box
 from repro.expressions.registry import get_expression
 from repro.machine.presets import paper_machine
@@ -25,12 +25,13 @@ def test_abundance_vs_threshold(run_once, fig_config):
 
     def run():
         rng = random.Random(fig_config.seed)
-        scores = []
         algorithms = expression.algorithms()
-        for _ in range(n):
-            instance = box.sample(rng)
-            evaluation = evaluate_instance(backend, algorithms, instance)
-            scores.append(classify(evaluation, threshold=0.0).time_score)
+        instances = [box.sample(rng) for _ in range(n)]
+        verdicts = classify_batch(
+            evaluate_instances(backend, algorithms, instances),
+            threshold=0.0,
+        )
+        scores = [verdict.time_score for verdict in verdicts]
         return {
             thr: sum(1 for s in scores if s > thr) / len(scores)
             for thr in THRESHOLDS

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions against a committed baseline.
+
+Compares a fresh pytest-benchmark JSON export against the baseline
+checked into the repository (``BENCH_seed.json``) and fails when any
+benchmark's mean regeneration time regressed by more than the allowed
+ratio.  Benchmarks present only in the current run are reported but do
+not fail the gate (new artefacts get a baseline on the next refresh);
+benchmarks that disappeared from the current run fail it, so a stale
+baseline cannot silently pass.
+
+Usage::
+
+    python benchmarks/compare_to_baseline.py current.json BENCH_seed.json \
+        --max-ratio 2.0
+
+Refresh the baseline by re-running the suite with ``--benchmark-json
+BENCH_seed.json`` on a quiet machine and committing the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in data["benchmarks"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh --benchmark-json export")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when current mean exceeds baseline mean by this factor",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.25,
+        help=(
+            "ignore ratios when the current mean is below this — "
+            "study-cache hits and sub-second regenerations are "
+            "dominated by harness noise and runner-hardware variance, "
+            "so only regressions that push a benchmark above this "
+            "floor can fail the gate"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+
+    regressions = []
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+
+    print(f"{'benchmark':<60} {'base (s)':>10} {'now (s)':>10} {'ratio':>7}")
+    for name in sorted(set(baseline) & set(current)):
+        ratio = current[name] / baseline[name] if baseline[name] else float("inf")
+        regressed = (
+            current[name] > args.min_seconds and ratio > args.max_ratio
+        )
+        print(
+            f"{name:<60} {baseline[name]:>10.4f} {current[name]:>10.4f} "
+            f"{ratio:>6.2f}x{'  REGRESSED' if regressed else ''}"
+        )
+        if regressed:
+            regressions.append((name, ratio))
+
+    for name in new:
+        print(f"{name:<60} {'—':>10} {current[name]:>10.4f}   (no baseline)")
+
+    status = 0
+    if missing:
+        print(
+            f"\nERROR: {len(missing)} baseline benchmark(s) missing from "
+            "the current run (stale baseline?):"
+        )
+        for name in missing:
+            print(f"  {name}")
+        status = 1
+    if regressions:
+        print(
+            f"\nERROR: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.max_ratio:.1f}x:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        status = 1
+    if status == 0:
+        print(
+            f"\nOK: {len(current)} benchmark(s) within {args.max_ratio:.1f}x "
+            "of baseline"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

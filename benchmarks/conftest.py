@@ -3,11 +3,15 @@
 Every paper artefact (Figures 1, 6–11; Tables 1, 2) has one benchmark
 that regenerates it and reports the wall time of the regeneration.
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
-(``quick`` default, ``full`` for the paper's parameters — minutes).
+(``quick`` default, ``full`` for the paper's parameters — minutes) and
+the seed by ``REPRO_BENCH_SEED`` (integer, default 0).  Invalid values
+abort the run with a usage error instead of silently falling back or
+surfacing a raw traceback.
 
 Studies are shared through :func:`repro.figures.common.study_for`'s
 process-level cache, so the suite runs each experiment pipeline once
-per expression.
+per expression; set ``REPRO_CACHE_DIR`` to also share them *across*
+benchmark processes through the on-disk layer.
 """
 
 from __future__ import annotations
@@ -18,11 +22,32 @@ import pytest
 
 from repro.figures.common import FigureConfig
 
+_SCALES = ("quick", "full")
+
+
+def parse_bench_scale(raw: str) -> str:
+    value = raw.strip().lower()
+    if value not in _SCALES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SCALE must be one of {'/'.join(_SCALES)}, "
+            f"got {raw!r}"
+        )
+    return value
+
+
+def parse_bench_seed(raw: str) -> int:
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SEED must be an integer, got {raw!r}"
+        ) from None
+
 
 @pytest.fixture(scope="session")
 def fig_config() -> FigureConfig:
-    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
-    seed = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+    scale = parse_bench_scale(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+    seed = parse_bench_seed(os.environ.get("REPRO_BENCH_SEED", "0"))
     return FigureConfig(scale=scale, seed=seed)
 
 

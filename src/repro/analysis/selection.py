@@ -13,8 +13,10 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.backends.base import Backend
-from repro.core.classify import evaluate_instance
+from repro.core.classify import evaluate_instances
 from repro.core.discriminants import Discriminant
 from repro.core.searchspace import Box
 from repro.expressions.base import Expression
@@ -60,12 +62,14 @@ def selection_quality(
     total_regret = 0.0
     worst_regret = -1.0
     worst_instance: Optional[Tuple[int, ...]] = None
-    for _ in range(n_instances):
-        instance = box.sample(rng)
-        choice = discriminant.select(algorithms, instance)
-        evaluation = evaluate_instance(backend, algorithms, instance)
-        t_chosen = evaluation.seconds[choice]
-        t_min = min(evaluation.seconds)
+    instances = [box.sample(rng) for _ in range(n_instances)]
+    choices = discriminant.select_batch(algorithms, instances)
+    batch = evaluate_instances(backend, algorithms, instances)
+    t_chosen_all = batch.seconds[np.arange(len(instances)), choices]
+    t_min_all = batch.seconds.min(axis=1)
+    for instance, t_chosen, t_min in zip(
+        instances, t_chosen_all.tolist(), t_min_all.tolist()
+    ):
         regret = t_chosen / t_min - 1.0
         total_regret += regret
         if regret > worst_regret:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.backends.base import Backend
-from repro.core.classify import classify, evaluate_instance
+from repro.core.classify import classify_batch, evaluate_instances
 from repro.core.searchspace import Box
 from repro.expressions.base import Expression
 
@@ -82,14 +82,17 @@ def trace_line(
     algorithms = expression.algorithms()
     anomalous: set = set()
     per_algorithm: List[List[TracePoint]] = [[] for _ in algorithms]
-    for position in positions:
-        instance = tuple(
-            position if i == dim else v for i, v in enumerate(origin)
-        )
-        evaluation = evaluate_instance(backend, algorithms, instance)
-        verdict = classify(evaluation, threshold=threshold)
+    instances = [
+        tuple(position if i == dim else v for i, v in enumerate(origin))
+        for position in positions
+    ]
+    batch = evaluate_instances(backend, algorithms, instances)
+    verdicts = classify_batch(batch, threshold=threshold)
+    peak = backend.peak_flops
+    for row, (position, verdict) in enumerate(zip(positions, verdicts)):
         if verdict.is_anomaly:
             anomalous.add(position)
+        evaluation = batch.evaluation(row)
         cheapest = set(evaluation.cheapest_indices())
         fastest = set(evaluation.fastest_indices())
         for i in range(len(algorithms)):
@@ -98,7 +101,7 @@ def trace_line(
             per_algorithm[i].append(
                 TracePoint(
                     position=position,
-                    total_efficiency=flops / (seconds * backend.peak_flops),
+                    total_efficiency=flops / (seconds * peak),
                     seconds=seconds,
                     flops=flops,
                     is_cheapest=i in cheapest,

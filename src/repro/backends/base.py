@@ -9,6 +9,15 @@ A backend answers three timing questions:
 * ``predict_time``    — sum the isolated kernel times of an algorithm
   (Experiment 3's benchmark-based predictor).
 
+Each question also has a batch form (``time_algorithms``,
+``time_kernels``, ``predict_times``) taking many instances at once and
+returning a float64 array.  The defaults below answer a batch with a
+scalar loop, so a backend only has to implement the per-instance
+protocol — :class:`repro.backends.real.RealBlasBackend` times real
+BLAS calls one at a time, unchanged — while
+:class:`repro.backends.simulated.SimulatedBackend` overrides the batch
+methods with fully vectorized evaluation.
+
 Experiment code is backend-agnostic: everything under
 :mod:`repro.core`, :mod:`repro.experiments` and :mod:`repro.analysis`
 works identically against either backend.
@@ -17,10 +26,16 @@ works identically against either backend.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.expressions.base import Algorithm
 from repro.kernels.types import KernelName
+
+#: Hashable identity of one concrete kernel call — the dedupe unit for
+#: benchmark-based prediction.
+_CallKey = Tuple[KernelName, Tuple[int, ...]]
 
 
 class Backend(abc.ABC):
@@ -38,7 +53,57 @@ class Backend(abc.ABC):
         ...
 
     def predict_time(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
-        return sum(
-            self.time_kernel(call.kernel, call.dims)
-            for call in algorithm.kernel_calls(instance)
+        """Benchmark-based prediction, timing each distinct call once.
+
+        An algorithm may issue the same ``(kernel, dims)`` call more
+        than once; re-running the benchmark for every occurrence would
+        be wasted wall time on a real machine, so distinct calls are
+        timed once and the measured values reused per occurrence (the
+        dedupe lives in :meth:`predict_times`).
+        """
+        return float(self.predict_times(algorithm, [instance])[0])
+
+    # ------------------------------------------------------------------
+    # Batch API — scalar-loop defaults; override for vectorized paths
+    # ------------------------------------------------------------------
+
+    def time_algorithms(
+        self, algorithm: Algorithm, instances: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Measured times of one algorithm at many instances."""
+        return np.array(
+            [self.time_algorithm(algorithm, inst) for inst in instances],
+            dtype=np.float64,
         )
+
+    def time_kernels(
+        self, kernel: KernelName, dims: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Isolated benchmark times of one kernel at many dims."""
+        return np.array(
+            [self.time_kernel(kernel, d) for d in dims], dtype=np.float64
+        )
+
+    def predict_times(
+        self, algorithm: Algorithm, instances: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Benchmark-based predictions at many instances.
+
+        Dedupes identical ``(kernel, dims)`` calls across the *whole*
+        batch — on a real machine, predicting a dense grid of
+        instances re-times mostly-overlapping kernel sets, and one
+        benchmark per distinct call is all the protocol needs.
+        """
+        timed: Dict[_CallKey, float] = {}
+        out = np.empty(len(instances), dtype=np.float64)
+        for i, instance in enumerate(instances):
+            total = 0.0
+            for call in algorithm.kernel_calls(
+                tuple(int(v) for v in instance)
+            ):
+                key = (call.kernel, tuple(int(d) for d in call.dims))
+                if key not in timed:
+                    timed[key] = self.time_kernel(call.kernel, call.dims)
+                total += timed[key]
+            out[i] = total
+        return out

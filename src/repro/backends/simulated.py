@@ -2,20 +2,110 @@
 
 Delegates all timing to a :class:`repro.machine.machine.MachineModel`;
 see that module for the analytic effects (ramps, variant dispatch,
-thread balance, inter-kernel cache interference, noise).  A small
-memo keeps repeated evaluations of the same (algorithm, instance)
-cheap — the experiment pipelines revisit points constantly, and the
-model is stateless so memoisation is exact.
+thread balance, inter-kernel cache interference, noise).  Results are
+memoised in an array-backed store — the experiment pipelines revisit
+points constantly, and the model is stateless so memoisation is exact.
+
+The batch methods are the fast path: a whole batch of instances flows
+through the vectorized machine in one call.  An algorithm's kernel
+structure is instance-independent (only the dims vary), so the call
+sequence is built *once* by feeding the calls builder whole instance
+columns — the same polynomial machinery that serves the symbolic
+analysis — and stacking the resulting per-call dim columns into
+``(n, arity)`` matrices.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.backends.base import Backend
 from repro.expressions.base import Algorithm
-from repro.kernels.types import KernelName
+from repro.kernels.types import KernelCallBatch, KernelName, batch_kernel_calls
 from repro.machine.machine import MachineModel
+
+
+class _ArrayMemo:
+    """Append-only float64 store indexed by instance-row byte keys.
+
+    Values live in one contiguous array so a batch lookup is a single
+    vectorized gather; the dict maps each key (the raw little-endian
+    int64 bytes of an instance row) to its row index only.
+    """
+
+    __slots__ = ("_index", "_values", "_size")
+
+    def __init__(self) -> None:
+        self._index: Dict[bytes, int] = {}
+        self._values = np.empty(1024, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, key: bytes) -> Optional[float]:
+        row = self._index.get(key)
+        return None if row is None else float(self._values[row])
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._values.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._size] = self._values[: self._size]
+            self._values = grown
+
+    def put(self, key: bytes, value: float) -> None:
+        if key in self._index:
+            return
+        self._reserve(1)
+        self._values[self._size] = value
+        self._index[key] = self._size
+        self._size += 1
+
+    def put_many(self, keys: Sequence[bytes], values: np.ndarray) -> None:
+        """Insert distinct fresh keys with their computed values."""
+        self._reserve(len(keys))
+        index, size = self._index, self._size
+        self._values[size:size + len(keys)] = values
+        for key in keys:
+            index[key] = size
+            size += 1
+        self._size = size
+
+    def rows(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Row index per key, -1 where missing."""
+        index = self._index
+        return np.fromiter(
+            (index.get(key, -1) for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    def fill_rows(self, rows: np.ndarray, positions, keys) -> None:
+        index = self._index
+        for position in positions:
+            rows[position] = index[keys[position]]
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        return self._values[rows]
+
+
+def _row_keys(arr: np.ndarray) -> List[bytes]:
+    """Hashable per-row keys: each row's raw int64 bytes."""
+    width = arr.shape[1] * 8
+    buffer = arr.tobytes()
+    return [buffer[i:i + width] for i in range(0, len(buffer), width)]
+
+
+def _instance_key(instance) -> bytes:
+    return np.asarray(
+        [int(d) for d in instance], dtype=np.int64
+    ).tobytes()
 
 
 class SimulatedBackend(Backend):
@@ -25,39 +115,143 @@ class SimulatedBackend(Backend):
 
             machine = paper_machine()
         self.machine = machine
-        self._algorithm_memo: Dict[Tuple[str, Tuple[int, ...]], float] = {}
-        self._kernel_memo: Dict[Tuple[KernelName, Tuple[int, ...]], float] = {}
+        self._memos: Dict[Tuple[str, str], _ArrayMemo] = {}
+
+    def _memo(self, kind: str, name: str) -> _ArrayMemo:
+        memo = self._memos.get((kind, name))
+        if memo is None:
+            memo = self._memos[(kind, name)] = _ArrayMemo()
+        return memo
 
     @property
     def peak_flops(self) -> float:
         return self.machine.peak_flops
 
+    # ------------------------------------------------------------------
+    # Scalar protocol
+    # ------------------------------------------------------------------
+
     def time_algorithm(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
-        key = (algorithm.name, tuple(int(d) for d in instance))
-        cached = self._algorithm_memo.get(key)
+        memo = self._memo("time", algorithm.name)
+        key = _instance_key(instance)
+        cached = memo.get(key)
         if cached is None:
-            calls = algorithm.kernel_calls(key[1])
+            instance = tuple(int(d) for d in instance)
+            calls = algorithm.kernel_calls(instance)
             cached = self.machine.measure_algorithm(calls, context=algorithm.name)
-            self._algorithm_memo[key] = cached
+            memo.put(key, cached)
         return cached
 
     def predict_time(self, algorithm: Algorithm, instance: Sequence[int]) -> float:
-        key = ("predict:" + algorithm.name, tuple(int(d) for d in instance))
-        cached = self._algorithm_memo.get(key)
+        memo = self._memo("predict", algorithm.name)
+        key = _instance_key(instance)
+        cached = memo.get(key)
         if cached is None:
-            calls = algorithm.kernel_calls(key[1])
+            instance = tuple(int(d) for d in instance)
+            calls = algorithm.kernel_calls(instance)
             cached = self.machine.predict_algorithm(calls, context=algorithm.name)
-            self._algorithm_memo[key] = cached
+            memo.put(key, cached)
         return cached
 
     def time_kernel(self, kernel: KernelName, dims: Sequence[int]) -> float:
-        key = (kernel, tuple(int(d) for d in dims))
-        cached = self._kernel_memo.get(key)
+        memo = self._memo("kernel", kernel.value)
+        key = _instance_key(dims)
+        cached = memo.get(key)
         if cached is None:
-            cached = self.machine.measure_kernel(kernel, key[1])
-            self._kernel_memo[key] = cached
+            cached = self.machine.measure_kernel(
+                kernel, tuple(int(d) for d in dims)
+            )
+            memo.put(key, cached)
         return cached
 
     def kernel_efficiency(self, kernel: KernelName, dims: Sequence[int]) -> float:
         """Noise-free analytic efficiency (used by Figure 1's ideal curves)."""
         return self.machine.efficiency(kernel, dims)
+
+    # ------------------------------------------------------------------
+    # Batch protocol — vectorized through the machine
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _instances_matrix(instances) -> np.ndarray:
+        arr = np.asarray(instances, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"instances must be a (n, n_dims) matrix, got shape {arr.shape!r}"
+            )
+        return arr
+
+    def _batched_calls(
+        self, algorithm: Algorithm, arr: np.ndarray
+    ) -> Tuple[KernelCallBatch, ...]:
+        columns = tuple(arr[:, i] for i in range(arr.shape[1]))
+        return batch_kernel_calls(
+            algorithm.kernel_calls(columns), arr.shape[0]
+        )
+
+    def _memoised_batch(
+        self,
+        memo: _ArrayMemo,
+        arr: np.ndarray,
+        compute,
+    ) -> np.ndarray:
+        """Gather ``arr`` rows from ``memo``, batch-computing the misses.
+
+        ``compute`` maps a sub-matrix of ``arr`` rows to values; each
+        distinct missing row is computed exactly once.
+        """
+        keys = _row_keys(arr)
+        rows = memo.rows(keys)
+        missing_positions = np.nonzero(rows < 0)[0].tolist()
+        if missing_positions:
+            first_seen: Dict[bytes, int] = {}
+            for position in missing_positions:
+                first_seen.setdefault(keys[position], position)
+            values = compute(arr[list(first_seen.values())])
+            memo.put_many(list(first_seen), values)
+            memo.fill_rows(rows, missing_positions, keys)
+        return memo.gather(rows)
+
+    def time_algorithms(
+        self, algorithm: Algorithm, instances: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        arr = self._instances_matrix(instances)
+        if arr.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._memoised_batch(
+            self._memo("time", algorithm.name),
+            arr,
+            lambda sub: self.machine.measure_algorithm_batch(
+                self._batched_calls(algorithm, sub), context=algorithm.name
+            ),
+        )
+
+    def predict_times(
+        self, algorithm: Algorithm, instances: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        arr = self._instances_matrix(instances)
+        if arr.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._memoised_batch(
+            self._memo("predict", algorithm.name),
+            arr,
+            lambda sub: self.machine.predict_algorithm_batch(
+                self._batched_calls(algorithm, sub), context=algorithm.name
+            ),
+        )
+
+    def time_kernels(
+        self, kernel: KernelName, dims: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        arr = np.asarray(dims, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"dims must be a (n, arity) matrix, got shape {arr.shape!r}"
+            )
+        if arr.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._memoised_batch(
+            self._memo("kernel", kernel.value),
+            arr,
+            lambda sub: self.machine.measure_kernel_batch(kernel, sub),
+        )

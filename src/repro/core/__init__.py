@@ -1,13 +1,24 @@
 """Core layer: anomaly classification, search space, discriminants."""
 
-from repro.core.classify import Evaluation, Verdict, classify, evaluate_instance
+from repro.core.classify import (
+    BatchEvaluation,
+    Evaluation,
+    Verdict,
+    classify,
+    classify_batch,
+    evaluate_instance,
+    evaluate_instances,
+)
 from repro.core.searchspace import Box, paper_box
 
 __all__ = [
+    "BatchEvaluation",
     "Box",
     "Evaluation",
     "Verdict",
     "classify",
+    "classify_batch",
     "evaluate_instance",
+    "evaluate_instances",
     "paper_box",
 ]

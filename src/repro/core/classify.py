@@ -14,12 +14,22 @@ An instance is an **anomaly** at threshold θ when the time score
 exceeds θ — picking by FLOPs forfeits more than θ of the attainable
 performance.  The paper uses θ = 10% in Experiment 1 and 5% in
 Experiments 2–3.
+
+The batch entry points (:func:`evaluate_instances` /
+:func:`classify_batch`) evaluate whole instance sets at once through
+the backends' batch API and apply the rule above with row-wise array
+arithmetic.  Every operation is either exact (integer mins, masked
+selections, comparisons of values below 2**53) or the elementwise
+float64 op the scalar path performs, so a batched verdict equals the
+scalar verdict bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.backends.base import Backend
 from repro.expressions.base import Algorithm
@@ -107,4 +117,144 @@ def classify(evaluation: Evaluation, threshold: float = 0.10) -> Verdict:
         threshold=threshold,
         cheapest=tuple(evaluation.algorithm_names[i] for i in cheapest),
         fastest=tuple(evaluation.algorithm_names[i] for i in fastest),
+    )
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """All algorithms of one expression measured at many instances.
+
+    ``instances`` is ``(n, n_dims)`` int64, ``flops`` is ``(n, A)``
+    int64 and ``seconds`` is ``(n, A)`` float64, with one column per
+    algorithm.  Row ``i`` carries exactly the data of the scalar
+    :class:`Evaluation` of instance ``i`` (see :meth:`evaluation`).
+    """
+
+    instances: np.ndarray
+    algorithm_names: Tuple[str, ...]
+    flops: np.ndarray
+    seconds: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, a = self.seconds.shape
+        if self.flops.shape != (n, a) or self.instances.shape[0] != n:
+            raise ValueError("ragged batch evaluation")
+        if len(self.algorithm_names) != a or a == 0:
+            raise ValueError("batch evaluation needs at least one algorithm")
+
+    def __len__(self) -> int:
+        return self.instances.shape[0]
+
+    def evaluation(self, i: int) -> Evaluation:
+        """Row ``i`` as a scalar :class:`Evaluation`."""
+        return Evaluation(
+            instance=tuple(int(v) for v in self.instances[i]),
+            algorithm_names=self.algorithm_names,
+            flops=tuple(int(f) for f in self.flops[i]),
+            seconds=tuple(float(s) for s in self.seconds[i]),
+        )
+
+
+def batch_flops(
+    algorithms: Sequence[Algorithm], instances_matrix: np.ndarray
+) -> np.ndarray:
+    """Exact ``(n, A)`` int64 FLOP counts, one column per algorithm.
+
+    Each algorithm's FLOP polynomial is evaluated once over whole
+    instance columns; a column degenerates to a scalar only when the
+    polynomial ignores every dim, hence the broadcast.
+    """
+    n = instances_matrix.shape[0]
+    columns = tuple(
+        instances_matrix[:, i] for i in range(instances_matrix.shape[1])
+    )
+    return np.stack(
+        [
+            np.broadcast_to(
+                np.asarray(a.flops(columns), dtype=np.int64), (n,)
+            )
+            for a in algorithms
+        ],
+        axis=1,
+    )
+
+
+def evaluate_instances(
+    backend: Backend,
+    algorithms: Sequence[Algorithm],
+    instances: Sequence[Sequence[int]],
+    predict: bool = False,
+) -> BatchEvaluation:
+    """Measure every algorithm at every instance on the given backend.
+
+    FLOP counts come from evaluating each algorithm's polynomial over
+    whole instance columns; times come from the backend's batch API
+    (vectorized on the simulated machine, a scalar loop otherwise).
+    With ``predict=True`` the seconds are the benchmark-based
+    predictions (``Backend.predict_times``) instead of whole-algorithm
+    measurements — Experiment 3's view of the same instances.
+    """
+    arr = np.asarray(instances, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"instances must be a (n, n_dims) matrix, got shape {arr.shape!r}"
+        )
+    timer = backend.predict_times if predict else backend.time_algorithms
+    return BatchEvaluation(
+        instances=arr,
+        algorithm_names=tuple(a.name for a in algorithms),
+        flops=batch_flops(algorithms, arr),
+        seconds=np.stack([timer(a, arr) for a in algorithms], axis=1),
+    )
+
+
+def classify_batch(
+    batch: BatchEvaluation, threshold: float = 0.10
+) -> Tuple[Verdict, ...]:
+    """Apply the paper's anomaly rule to every row of a batch."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    flops, seconds = batch.flops, batch.seconds
+    f_min = flops.min(axis=1)
+    cheap_mask = flops <= f_min[:, None] * (1 + _REL_TOL)
+    t_min = seconds.min(axis=1)
+    fast_mask = seconds <= t_min[:, None] * (1 + _REL_TOL)
+    t_best_cheapest = np.where(cheap_mask, seconds, np.inf).min(axis=1)
+    time_scores = 1.0 - t_min / t_best_cheapest
+    f_fastest = np.where(fast_mask, flops, np.iinfo(np.int64).max).min(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        flop_scores = np.where(
+            f_fastest != 0, 1.0 - f_min / f_fastest, 0.0
+        )
+    anomalies = time_scores > threshold
+    names = batch.algorithm_names
+
+    # The same cheapest/fastest membership patterns recur across most
+    # rows of a batch; intern the name tuples by mask bit-pattern.
+    name_cache: dict = {}
+
+    def names_for(mask_row: np.ndarray) -> Tuple[str, ...]:
+        key = mask_row.tobytes()
+        got = name_cache.get(key)
+        if got is None:
+            got = tuple(names[j] for j in np.nonzero(mask_row)[0])
+            name_cache[key] = got
+        return got
+
+    return tuple(
+        Verdict(
+            is_anomaly=is_anomaly,
+            time_score=time_score,
+            flop_score=flop_score,
+            threshold=threshold,
+            cheapest=names_for(cheap_mask[i]),
+            fastest=names_for(fast_mask[i]),
+        )
+        for i, (is_anomaly, time_score, flop_score) in enumerate(
+            zip(
+                anomalies.tolist(),
+                time_scores.tolist(),
+                flop_scores.tolist(),
+            )
+        )
     )

@@ -17,7 +17,9 @@ the candidate algorithms on that instance*:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.backends.base import Backend
 from repro.expressions.base import Algorithm
@@ -35,6 +37,15 @@ class Discriminant:
     ) -> int:
         raise NotImplementedError
 
+    def select_batch(
+        self,
+        algorithms: Sequence[Algorithm],
+        instances: Sequence[Sequence[int]],
+    ) -> List[int]:
+        """Pick per instance; ties break to the lowest index, exactly
+        like :meth:`select`.  Override when the scoring vectorizes."""
+        return [self.select(algorithms, inst) for inst in instances]
+
 
 class MinFlopsDiscriminant(Discriminant):
     name = "min-flops"
@@ -44,6 +55,16 @@ class MinFlopsDiscriminant(Discriminant):
     ) -> int:
         flop_counts = [int(a.flops(instance)) for a in algorithms]
         return flop_counts.index(min(flop_counts))
+
+    def select_batch(
+        self,
+        algorithms: Sequence[Algorithm],
+        instances: Sequence[Sequence[int]],
+    ) -> List[int]:
+        from repro.core.classify import batch_flops
+
+        arr = np.asarray(instances, dtype=np.int64)
+        return np.argmin(batch_flops(algorithms, arr), axis=1).tolist()
 
 
 class _ProfileMixin:
@@ -112,3 +133,14 @@ class BenchmarkDiscriminant(Discriminant):
             self.backend.predict_time(a, instance) for a in algorithms
         ]
         return times.index(min(times))
+
+    def select_batch(
+        self,
+        algorithms: Sequence[Algorithm],
+        instances: Sequence[Sequence[int]],
+    ) -> List[int]:
+        times = np.stack(
+            [self.backend.predict_times(a, instances) for a in algorithms],
+            axis=1,
+        )
+        return np.argmin(times, axis=1).tolist()

@@ -5,15 +5,19 @@ the same classification from *predicted* algorithm times — the sum of
 each algorithm's isolated kernel benchmark times.  Agreement means an
 anomaly could have been anticipated from one-off per-kernel data; the
 disagreements measure what only inter-kernel (cache) effects explain.
+
+All cells are predicted as one batch per algorithm through the
+backend's ``predict_times`` — vectorized on the simulated machine, and
+deduplicating repeated kernel benchmarks on a real one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.backends.base import Backend
-from repro.core.classify import Evaluation, classify
+from repro.core.classify import classify_batch, evaluate_instances
 from repro.experiments.regions import Regions
 from repro.expressions.base import Expression
 
@@ -45,19 +49,23 @@ def predict_from_benchmarks(
             f"not {expression.name!r}"
         )
     algorithms = expression.algorithms()
-    records: List[PredictionRecord] = []
-    for cell in regions.cells:
-        predicted = Evaluation(
-            instance=cell.instance,
-            algorithm_names=tuple(a.name for a in algorithms),
-            flops=tuple(int(a.flops(cell.instance)) for a in algorithms),
-            seconds=tuple(
-                float(backend.predict_time(a, cell.instance))
-                for a in algorithms
-            ),
+    if not regions.cells:
+        return Prediction(
+            expression=expression.name,
+            threshold=regions.threshold,
+            records=(),
         )
-        verdict = classify(predicted, threshold=regions.threshold)
-        records.append(
+    predicted = evaluate_instances(
+        backend,
+        algorithms,
+        [cell.instance for cell in regions.cells],
+        predict=True,
+    )
+    verdicts = classify_batch(predicted, threshold=regions.threshold)
+    return Prediction(
+        expression=expression.name,
+        threshold=regions.threshold,
+        records=tuple(
             PredictionRecord(
                 instance=cell.instance,
                 actual_anomaly=cell.is_anomaly,
@@ -65,9 +73,6 @@ def predict_from_benchmarks(
                 actual_score=cell.time_score,
                 predicted_score=verdict.time_score,
             )
-        )
-    return Prediction(
-        expression=expression.name,
-        threshold=regions.threshold,
-        records=tuple(records),
+            for cell, verdict in zip(regions.cells, verdicts)
+        ),
     )

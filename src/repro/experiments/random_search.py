@@ -3,6 +3,14 @@
 Sample instances uniformly from the box, measure every equivalent
 algorithm, classify, and collect anomalies until a target count or a
 sample budget is reached.  Abundance is anomalies per sample drawn.
+
+Sampling proceeds in batches: a chunk of instances is drawn (in the
+same rng order a point-by-point loop would use), evaluated through the
+backend's batch API in one call, and the verdicts scanned in draw
+order — so results are identical for every ``batch_size``, including
+the degenerate scalar loop ``batch_size=1``.  When a target anomaly
+count is hit mid-chunk the scan stops exactly where the scalar loop
+would have, and the surplus evaluations only warm the backend memo.
 """
 
 from __future__ import annotations
@@ -12,9 +20,13 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.backends.base import Backend
-from repro.core.classify import Verdict, classify, evaluate_instance
+from repro.core.classify import Verdict, classify_batch, evaluate_instances
 from repro.core.searchspace import Box
 from repro.expressions.base import Expression
+
+#: Chunk size balancing vectorization width against overshoot past a
+#: ``target_anomalies`` stop.
+DEFAULT_BATCH_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,7 @@ def random_search(
     target_anomalies: int | None = None,
     max_samples: int = 10_000,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> SearchResult:
     if box.n_dims != expression.n_dims:
         raise ValueError(
@@ -59,19 +72,32 @@ def random_search(
         )
     if max_samples < 1:
         raise ValueError("max_samples must be positive")
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
     rng = random.Random(seed)
     algorithms = expression.algorithms()
     anomalies: List[Anomaly] = []
     n_samples = 0
-    while n_samples < max_samples and (
-        target_anomalies is None or len(anomalies) < target_anomalies
-    ):
-        instance = box.sample(rng)
-        n_samples += 1
-        evaluation = evaluate_instance(backend, algorithms, instance)
-        verdict = classify(evaluation, threshold=threshold)
-        if verdict.is_anomaly:
-            anomalies.append(Anomaly(instance=instance, verdict=verdict))
+    done = target_anomalies is not None and target_anomalies <= 0
+    while not done and n_samples < max_samples:
+        chunk = min(batch_size, max_samples - n_samples)
+        instances = [box.sample(rng) for _ in range(chunk)]
+        verdicts = classify_batch(
+            evaluate_instances(backend, algorithms, instances),
+            threshold=threshold,
+        )
+        for instance, verdict in zip(instances, verdicts):
+            n_samples += 1
+            if verdict.is_anomaly:
+                anomalies.append(Anomaly(instance=instance, verdict=verdict))
+                if (
+                    target_anomalies is not None
+                    and len(anomalies) >= target_anomalies
+                ):
+                    done = True
+                    break
     return SearchResult(
         expression=expression.name,
         threshold=threshold,

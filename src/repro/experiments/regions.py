@@ -6,24 +6,44 @@ hole-tolerance rule (§3.4.2) keeps walking through up to
 ``hole_tolerance`` consecutive non-anomalous samples so measurement
 noise near the 5% threshold does not truncate a region.
 
+Each directed walk is a *ray* — the step positions from the origin
+toward the box face — evaluated in batched rounds: every round sends
+the next ``RAY_CHUNK`` steps of every still-live ray through the
+backend as one call, and holes are resolved post hoc: the verdicts
+are scanned in step order and the walk "stops" at exactly the
+position the step-by-step loop would have stopped at.  Up to a chunk
+of positions past the stop were still evaluated (they warm the
+backend's memo) but are not recorded as cells, so the result is
+identical to the scalar traversal.
+
 The traversal yields, per region and dimension, the *extent* (the
 interval between extreme anomalous positions — its length is the
 "thickness" plotted in Figures 7/10) and the set of all evaluated
-*cells*, which Experiment 3 reuses as labelled ground truth.
+*cells*, which Experiment 3 reuses as labelled ground truth.  The
+origin's verdict is recorded exactly once per region, and cells are
+deduplicated by instance: overlapping walks (rays from nearby origins,
+or a repeated origin) contribute one cell per distinct instance, the
+first time it is visited.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.backends.base import Backend
-from repro.core.classify import classify, evaluate_instance
+from repro.core.classify import Verdict, classify_batch, evaluate_instances
 from repro.core.searchspace import Box
 from repro.expressions.base import Expression
 
 DEFAULT_STEP = 16
 DEFAULT_HOLE_TOLERANCE = 2
+
+#: Steps of each ray evaluated per batching round.  Rays stop early
+#: (hole rule), so evaluating whole rays at once would waste most of
+#: the batch on positions past the stop; chunking bounds the overshoot
+#: per ray while every round still batches across *all* live rays.
+RAY_CHUNK = 24
 
 
 @dataclass(frozen=True)
@@ -73,48 +93,99 @@ class Regions:
         return [r.thickness(dim) for r in self.regions if dim in r.extents]
 
 
-def _walk(
-    backend: Backend,
-    algorithms,
-    origin: Tuple[int, ...],
-    dim: int,
-    box: Box,
-    threshold: float,
-    step: int,
-    hole_tolerance: int,
-    direction: int,
-    cells: List[RegionCell],
-) -> int:
-    """Walk one direction; return the extreme anomalous position."""
-    extreme = origin[dim]
-    position = origin[dim]
-    holes = 0
-    while True:
-        position += direction * step
-        if not box.lows[dim] <= position <= box.highs[dim]:
-            break
-        instance = tuple(
-            position if i == dim else v for i, v in enumerate(origin)
-        )
-        verdict = classify(
-            evaluate_instance(backend, algorithms, instance),
-            threshold=threshold,
-        )
-        cells.append(
+class _CellRecorder:
+    """Order-preserving cell collector, deduplicated by instance."""
+
+    def __init__(self) -> None:
+        self.cells: List[RegionCell] = []
+        self._seen: Set[Tuple[int, ...]] = set()
+
+    def record(self, instance: Tuple[int, ...], verdict: Verdict) -> None:
+        if instance in self._seen:
+            return
+        self._seen.add(instance)
+        self.cells.append(
             RegionCell(
                 instance=instance,
                 time_score=verdict.time_score,
                 is_anomaly=verdict.is_anomaly,
             )
         )
-        if verdict.is_anomaly:
-            extreme = position
-            holes = 0
-        else:
-            holes += 1
-            if holes > hole_tolerance:
+
+
+class _Ray:
+    """One directed walk: step positions out to the box face, evaluated
+    chunk by chunk until the hole rule stops it."""
+
+    def __init__(
+        self, origin: Tuple[int, ...], dim: int, box: Box, step: int,
+        direction: int, hole_tolerance: int,
+    ) -> None:
+        self.origin = origin
+        self.dim = dim
+        self.hole_tolerance = hole_tolerance
+        positions: List[int] = []
+        position = origin[dim]
+        while True:
+            position += direction * step
+            if not box.lows[dim] <= position <= box.highs[dim]:
                 break
-    return extreme
+            positions.append(position)
+        self.positions = tuple(positions)
+        self.verdicts: List[Verdict] = []
+        self._holes = 0
+        self._stopped = not positions
+
+    def instance_at(self, index: int) -> Tuple[int, ...]:
+        return tuple(
+            self.positions[index] if i == self.dim else v
+            for i, v in enumerate(self.origin)
+        )
+
+    def next_chunk(self) -> List[Tuple[int, ...]]:
+        """The instances of the next unevaluated chunk; [] when done."""
+        if self._stopped:
+            return []
+        start = len(self.verdicts)
+        return [
+            self.instance_at(i)
+            for i in range(start, min(start + RAY_CHUNK, len(self.positions)))
+        ]
+
+    def absorb(self, verdicts: Sequence[Verdict]) -> None:
+        """Take one chunk's verdicts and advance the hole-rule scan."""
+        for verdict in verdicts:
+            self.verdicts.append(verdict)
+            if verdict.is_anomaly:
+                self._holes = 0
+            elif not self._stopped:
+                self._holes += 1
+                if self._holes > self.hole_tolerance:
+                    self._stopped = True
+        if len(self.verdicts) == len(self.positions):
+            self._stopped = True
+
+    def resolve(
+        self, hole_tolerance: int, recorder: _CellRecorder
+    ) -> int:
+        """Scan the evaluated prefix; return the extreme anomalous position.
+
+        Applies the hole rule post hoc: cells are recorded in step
+        order up to (and including) the step where the tolerance is
+        exceeded, exactly where a step-by-step walk would stop.
+        """
+        extreme = self.origin[self.dim]
+        holes = 0
+        for index, verdict in enumerate(self.verdicts):
+            recorder.record(self.instance_at(index), verdict)
+            if verdict.is_anomaly:
+                extreme = self.positions[index]
+                holes = 0
+            else:
+                holes += 1
+                if holes > hole_tolerance:
+                    break
+        return extreme
 
 
 def explore_regions(
@@ -136,31 +207,60 @@ def explore_regions(
         if not 0 <= dim < expression.n_dims:
             raise ValueError(f"dim {dim} out of range")
     algorithms = expression.algorithms()
-    regions: List[Region] = []
-    cells: List[RegionCell] = []
-    for origin in origins:
-        origin = tuple(int(v) for v in origin)
-        verdict = classify(
-            evaluate_instance(backend, algorithms, origin),
+    normalized = [tuple(int(v) for v in origin) for origin in origins]
+    recorder = _CellRecorder()
+    origin_verdicts: Tuple[Verdict, ...] = ()
+    if normalized:
+        origin_verdicts = classify_batch(
+            evaluate_instances(backend, algorithms, normalized),
             threshold=threshold,
         )
-        cells.append(
-            RegionCell(
-                instance=origin,
-                time_score=verdict.time_score,
-                is_anomaly=verdict.is_anomaly,
-            )
+    # Trace every walk of every anomalous region, then evaluate the
+    # rays in rounds: each round batches the next RAY_CHUNK steps of
+    # every still-live ray through the backend in one call, and the
+    # per-ray hole rule decides which rays continue.  The backend memo
+    # and stateless noise make the grouping invisible in the results —
+    # only in the wall time.
+    rays: Dict[Tuple[int, int, int], _Ray] = {}
+    for region_index, (origin, verdict) in enumerate(
+        zip(normalized, origin_verdicts)
+    ):
+        if verdict.is_anomaly:
+            for dim in traversal_dims:
+                for direction in (-1, +1):
+                    rays[(region_index, dim, direction)] = _Ray(
+                        origin, dim, box, step, direction, hole_tolerance
+                    )
+    while True:
+        chunks = [(ray, ray.next_chunk()) for ray in rays.values()]
+        chunks = [(ray, chunk) for ray, chunk in chunks if chunk]
+        if not chunks:
+            break
+        flat_verdicts = classify_batch(
+            evaluate_instances(
+                backend,
+                algorithms,
+                [instance for _, chunk in chunks for instance in chunk],
+            ),
+            threshold=threshold,
         )
+        offset = 0
+        for ray, chunk in chunks:
+            ray.absorb(flat_verdicts[offset:offset + len(chunk)])
+            offset += len(chunk)
+    regions: List[Region] = []
+    for region_index, (origin, verdict) in enumerate(
+        zip(normalized, origin_verdicts)
+    ):
+        recorder.record(origin, verdict)
         extents: Dict[int, DimExtent] = {}
         if verdict.is_anomaly:
             for dim in traversal_dims:
-                lo = _walk(
-                    backend, algorithms, origin, dim, box, threshold,
-                    step, hole_tolerance, -1, cells,
+                lo = rays[(region_index, dim, -1)].resolve(
+                    hole_tolerance, recorder
                 )
-                hi = _walk(
-                    backend, algorithms, origin, dim, box, threshold,
-                    step, hole_tolerance, +1, cells,
+                hi = rays[(region_index, dim, +1)].resolve(
+                    hole_tolerance, recorder
                 )
                 extents[dim] = DimExtent(dim=dim, lo=lo, hi=hi)
         regions.append(Region(origin=origin, extents=extents))
@@ -169,5 +269,5 @@ def explore_regions(
         threshold=threshold,
         n_dims=expression.n_dims,
         regions=tuple(regions),
-        cells=tuple(cells),
+        cells=tuple(recorder.cells),
     )

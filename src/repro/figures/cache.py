@@ -1,0 +1,282 @@
+"""On-disk layer for the study cache (``REPRO_CACHE_DIR``).
+
+A computed :class:`repro.figures.common.Study` is fully determined by
+``(scale, seed, expression)`` — the backend is deterministic and the
+experiment drivers are seeded — so its results can be persisted and
+reloaded across processes.  With ``REPRO_CACHE_DIR`` set, regenerating
+an artefact a second time (another pytest-benchmark process, a CI
+re-run, a notebook restart) costs a JSON read instead of the whole
+experiment pipeline.
+
+Entries are versioned JSON files, one per study, named
+``study-v{SCHEMA_VERSION}-{scale}-seed{seed}-{expression}.json``.
+The schema version participates in both the filename and the payload:
+bump :data:`SCHEMA_VERSION` whenever the serialized shape *or the
+semantics of the pipeline that produced it* change, and stale entries
+are simply never read again.  JSON round-trips Python floats exactly
+(``repr`` shortest-float), so a loaded study is bit-for-bit the study
+that was saved.
+
+Loading is best-effort: a missing, truncated, or version-mismatched
+file silently falls back to recomputation, and writes go through a
+temp file + ``os.replace`` so concurrent regenerations never observe a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.core.classify import Verdict
+from repro.experiments.prediction import Prediction, PredictionRecord
+from repro.experiments.random_search import Anomaly, SearchResult
+from repro.experiments.regions import DimExtent, Region, RegionCell, Regions
+
+#: Bump when the payload layout or the producing pipeline changes.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache directory; unset disables
+#: the disk layer.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_dir_from_env() -> Optional[Path]:
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+def study_path(cache_dir: Path, scale: str, seed: int, expression: str) -> Path:
+    return cache_dir / (
+        f"study-v{SCHEMA_VERSION}-{scale}-seed{seed}-{expression}.json"
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization (plain dict/list payloads, exact float round-trip)
+# ----------------------------------------------------------------------
+
+
+def _verdict_to_payload(verdict: Verdict) -> dict:
+    return {
+        "is_anomaly": verdict.is_anomaly,
+        "time_score": verdict.time_score,
+        "flop_score": verdict.flop_score,
+        "threshold": verdict.threshold,
+        "cheapest": list(verdict.cheapest),
+        "fastest": list(verdict.fastest),
+    }
+
+
+def _verdict_from_payload(payload: dict) -> Verdict:
+    return Verdict(
+        is_anomaly=bool(payload["is_anomaly"]),
+        time_score=float(payload["time_score"]),
+        flop_score=float(payload["flop_score"]),
+        threshold=float(payload["threshold"]),
+        cheapest=tuple(payload["cheapest"]),
+        fastest=tuple(payload["fastest"]),
+    )
+
+
+def _search_to_payload(search: SearchResult) -> dict:
+    return {
+        "expression": search.expression,
+        "threshold": search.threshold,
+        "n_samples": search.n_samples,
+        "anomalies": [
+            {
+                "instance": list(anomaly.instance),
+                "verdict": _verdict_to_payload(anomaly.verdict),
+            }
+            for anomaly in search.anomalies
+        ],
+    }
+
+
+def _search_from_payload(payload: dict) -> SearchResult:
+    return SearchResult(
+        expression=payload["expression"],
+        threshold=float(payload["threshold"]),
+        n_samples=int(payload["n_samples"]),
+        anomalies=tuple(
+            Anomaly(
+                instance=tuple(int(v) for v in entry["instance"]),
+                verdict=_verdict_from_payload(entry["verdict"]),
+            )
+            for entry in payload["anomalies"]
+        ),
+    )
+
+
+def _regions_to_payload(regions: Regions) -> dict:
+    return {
+        "expression": regions.expression,
+        "threshold": regions.threshold,
+        "n_dims": regions.n_dims,
+        "regions": [
+            {
+                "origin": list(region.origin),
+                "extents": [
+                    [extent.dim, extent.lo, extent.hi]
+                    for extent in region.extents.values()
+                ],
+            }
+            for region in regions.regions
+        ],
+        "cells": [
+            [list(cell.instance), cell.time_score, cell.is_anomaly]
+            for cell in regions.cells
+        ],
+    }
+
+
+def _regions_from_payload(payload: dict) -> Regions:
+    return Regions(
+        expression=payload["expression"],
+        threshold=float(payload["threshold"]),
+        n_dims=int(payload["n_dims"]),
+        regions=tuple(
+            Region(
+                origin=tuple(int(v) for v in entry["origin"]),
+                extents={
+                    int(dim): DimExtent(dim=int(dim), lo=int(lo), hi=int(hi))
+                    for dim, lo, hi in entry["extents"]
+                },
+            )
+            for entry in payload["regions"]
+        ),
+        cells=tuple(
+            RegionCell(
+                instance=tuple(int(v) for v in instance),
+                time_score=float(time_score),
+                is_anomaly=bool(is_anomaly),
+            )
+            for instance, time_score, is_anomaly in payload["cells"]
+        ),
+    )
+
+
+def _prediction_to_payload(prediction: Prediction) -> dict:
+    return {
+        "expression": prediction.expression,
+        "threshold": prediction.threshold,
+        "records": [
+            [
+                list(record.instance),
+                record.actual_anomaly,
+                record.predicted_anomaly,
+                record.actual_score,
+                record.predicted_score,
+            ]
+            for record in prediction.records
+        ],
+    }
+
+
+def _prediction_from_payload(payload: dict) -> Prediction:
+    return Prediction(
+        expression=payload["expression"],
+        threshold=float(payload["threshold"]),
+        records=tuple(
+            PredictionRecord(
+                instance=tuple(int(v) for v in instance),
+                actual_anomaly=bool(actual),
+                predicted_anomaly=bool(predicted),
+                actual_score=float(actual_score),
+                predicted_score=float(predicted_score),
+            )
+            for instance, actual, predicted, actual_score, predicted_score
+            in payload["records"]
+        ),
+    )
+
+
+def _confusion_to_payload(matrix: ConfusionMatrix) -> dict:
+    return {
+        "true_positive": matrix.true_positive,
+        "false_positive": matrix.false_positive,
+        "false_negative": matrix.false_negative,
+        "true_negative": matrix.true_negative,
+    }
+
+
+def _confusion_from_payload(payload: dict) -> ConfusionMatrix:
+    return ConfusionMatrix(
+        true_positive=int(payload["true_positive"]),
+        false_positive=int(payload["false_positive"]),
+        false_negative=int(payload["false_negative"]),
+        true_negative=int(payload["true_negative"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Disk I/O
+# ----------------------------------------------------------------------
+
+
+def save_study_payload(
+    cache_dir: Path,
+    scale: str,
+    seed: int,
+    expression: str,
+    search: SearchResult,
+    regions: Regions,
+    prediction: Prediction,
+    confusion: ConfusionMatrix,
+) -> None:
+    """Atomically persist one study's results (best effort)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "expression": expression,
+        "search": _search_to_payload(search),
+        "regions": _regions_to_payload(regions),
+        "prediction": _prediction_to_payload(prediction),
+        "confusion": _confusion_to_payload(confusion),
+    }
+    path = study_path(cache_dir, scale, seed, expression)
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(cache_dir), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
+    except OSError:
+        return
+
+
+def load_study_payload(
+    cache_dir: Path, scale: str, seed: int, expression: str
+) -> Optional[dict]:
+    """Load and validate one study's results; None on any mismatch."""
+    path = study_path(cache_dir, scale, seed, expression)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or (
+            payload.get("schema") != SCHEMA_VERSION
+            or payload.get("scale") != scale
+            or payload.get("seed") != seed
+            or payload.get("expression") != expression
+        ):
+            return None
+        return {
+            "search": _search_from_payload(payload["search"]),
+            "regions": _regions_from_payload(payload["regions"]),
+            "prediction": _prediction_from_payload(payload["prediction"]),
+            "confusion": _confusion_from_payload(payload["confusion"]),
+        }
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        return None

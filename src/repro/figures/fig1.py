@@ -24,17 +24,16 @@ class Fig1Data:
 
 def generate(config: FigureConfig) -> Fig1Data:
     backend = SimulatedBackend(paper_machine(seed=config.seed))
+    sizes = config.fig1_sizes()
+    peak = backend.peak_flops
     series: Dict[KernelName, List[Tuple[int, float]]] = {}
     for kernel in (KernelName.GEMM, KernelName.SYRK, KernelName.SYMM):
-        points = []
-        for size in config.fig1_sizes():
-            dims = (size,) * KERNEL_ARITY[kernel]
-            seconds = backend.time_kernel(kernel, dims)
-            efficiency = float(kernel_flops(kernel, dims)) / (
-                seconds * backend.peak_flops
-            )
-            points.append((size, efficiency))
-        series[kernel] = points
+        dims_list = [(size,) * KERNEL_ARITY[kernel] for size in sizes]
+        seconds = backend.time_kernels(kernel, dims_list)
+        series[kernel] = [
+            (size, float(kernel_flops(kernel, dims)) / (s * peak))
+            for size, dims, s in zip(sizes, dims_list, seconds.tolist())
+        ]
     return Fig1Data(series=series)
 
 

@@ -1,6 +1,18 @@
 """Kernel layer: the three BLAS kernels the paper's algorithms use."""
 
-from repro.kernels.flops import kernel_flops
-from repro.kernels.types import KernelCall, KernelName
+from repro.kernels.flops import kernel_flops, kernel_flops_batch
+from repro.kernels.types import (
+    KernelCall,
+    KernelCallBatch,
+    KernelName,
+    batch_kernel_calls,
+)
 
-__all__ = ["KernelCall", "KernelName", "kernel_flops"]
+__all__ = [
+    "KernelCall",
+    "KernelCallBatch",
+    "KernelName",
+    "batch_kernel_calls",
+    "kernel_flops",
+    "kernel_flops_batch",
+]

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.kernels.types import KernelName
+import numpy as np
+
+from repro.kernels.types import KERNEL_ARITY, KernelName
 
 
 def gemm_flops(m: Any, n: Any, k: Any) -> Any:
@@ -45,3 +47,21 @@ _FORMULAS = {
 def kernel_flops(kernel: KernelName, dims: Sequence[Any]) -> Any:
     """FLOP count of one kernel call; polynomial in ``dims``."""
     return _FORMULAS[kernel](*dims)
+
+
+def kernel_flops_batch(kernel: KernelName, dims) -> np.ndarray:
+    """FLOP counts over an ``(n, arity)`` integer dims matrix.
+
+    Exact int64 arithmetic: the counts stay below 2**53 for any dims
+    the paper box (and far beyond) can produce, so converting to
+    float64 downstream is lossless and matches the scalar path
+    bit for bit.
+    """
+    dims = np.asarray(dims, dtype=np.int64)
+    arity = KERNEL_ARITY[kernel]
+    if dims.ndim != 2 or dims.shape[1] != arity:
+        raise ValueError(
+            f"{kernel.value} batch takes (n, {arity}) dims, "
+            f"got shape {dims.shape!r}"
+        )
+    return _FORMULAS[kernel](*(dims[:, j] for j in range(arity)))

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, Sequence, Tuple
+
+import numpy as np
 
 
 class KernelName(enum.Enum):
@@ -82,3 +84,89 @@ class KernelCall:
         if self.kernel is KernelName.SYRK:
             return d[0] * d[0]
         return d[0] * d[1]  # SYMM
+
+
+def _dims_column(value: Any, n: int) -> np.ndarray:
+    """One dim of a call batch as an ``(n,)`` int64 column.
+
+    Accepts the per-instance arrays a calls builder produces when fed
+    whole instance columns, or a plain int a builder hard-codes.
+    """
+    column = np.asarray(value, dtype=np.int64)
+    if column.ndim == 0:
+        return np.full(n, column, dtype=np.int64)
+    if column.shape != (n,):
+        raise ValueError(
+            f"dim column has shape {column.shape}, expected ({n},)"
+        )
+    return column
+
+
+@dataclass(frozen=True)
+class KernelCallBatch:
+    """One kernel-call slot evaluated at ``n`` instances at once.
+
+    ``dims`` is an ``(n, arity)`` int64 matrix: row ``i`` holds the
+    dims the slot's :class:`KernelCall` would take at instance ``i``.
+    All derived quantities are the scalar polynomials applied
+    columnwise, so they agree exactly with the per-instance values.
+    """
+
+    kernel: KernelName
+    dims: np.ndarray
+    reads_previous: bool = False
+
+    def __post_init__(self) -> None:
+        expected = KERNEL_ARITY[self.kernel]
+        if self.dims.ndim != 2 or self.dims.shape[1] != expected:
+            raise ValueError(
+                f"{self.kernel.value} batch takes (n, {expected}) dims, "
+                f"got shape {self.dims.shape!r}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.dims.shape[0]
+
+    @classmethod
+    def from_call(cls, call: KernelCall, n: int) -> "KernelCallBatch":
+        """Stack a call whose dims are columns (or ints) into a batch."""
+        return cls(
+            kernel=call.kernel,
+            dims=np.stack(
+                [_dims_column(d, n) for d in call.dims], axis=1
+            ),
+            reads_previous=call.reads_previous,
+        )
+
+    @property
+    def flops(self) -> np.ndarray:
+        from repro.kernels.flops import kernel_flops_batch
+
+        return kernel_flops_batch(self.kernel, self.dims)
+
+    def operand_elements(self) -> np.ndarray:
+        """Per-instance matrix elements touched (inputs + output)."""
+        d = self.dims
+        if self.kernel is KernelName.GEMM:
+            m, n, k = d[:, 0], d[:, 1], d[:, 2]
+            return m * k + k * n + m * n
+        if self.kernel is KernelName.SYRK:
+            n, k = d[:, 0], d[:, 1]
+            return n * k + n * n
+        m, n = d[:, 0], d[:, 1]  # SYMM
+        return m * m + m * n + m * n
+
+    def output_elements(self) -> np.ndarray:
+        """Per-instance elements of the matrix this slot writes."""
+        d = self.dims
+        if self.kernel is KernelName.SYRK:
+            return d[:, 0] * d[:, 0]
+        return d[:, 0] * d[:, 1]  # GEMM / SYMM
+
+
+def batch_kernel_calls(
+    calls: Sequence[KernelCall], n: int
+) -> Tuple[KernelCallBatch, ...]:
+    """Batch a call sequence built from whole instance columns."""
+    return tuple(KernelCallBatch.from_call(call, n) for call in calls)

@@ -29,17 +29,30 @@ paper discusses:
 
 Measured times add stateless multiplicative noise (median of
 ``reps`` repetitions, the paper's protocol).
+
+Every quantity is computed **batch-first** over ``(n, arity)`` dims
+matrices (the ``*_batch`` methods); the scalar methods run the batch
+path on one-element arrays.  NumPy selects its ufunc inner loops by
+dtype and machine, never by array length, so grouping measurements
+into batches cannot change a single bit of any result — the
+equivalence suite in ``tests/test_batch_equivalence.py`` pins this.
 """
 
 from __future__ import annotations
 
-import math
-import statistics
 from typing import Optional, Sequence
 
-from repro.kernels.flops import kernel_flops
-from repro.kernels.types import KernelCall, KernelName
-from repro.machine.noise import NoiseModel
+import numpy as np
+
+from repro.kernels.flops import kernel_flops_batch
+from repro.kernels.types import (
+    KERNEL_ARITY,
+    KernelCall,
+    KernelCallBatch,
+    KernelName,
+    batch_kernel_calls,
+)
+from repro.machine.noise import NoiseModel, fold
 from repro.machine.spec import MachineSpec
 
 #: Relative cost of the conflict misses a *producer* kernel's cache
@@ -52,6 +65,28 @@ _INTERFERENCE = {
     KernelName.SYMM: 0.06,
     KernelName.GEMM: 0.02,
 }
+
+#: Integer tokens folded into measurement ids (stable across runs).
+_KERNEL_TOKEN = {
+    KernelName.GEMM: 1,
+    KernelName.SYRK: 2,
+    KernelName.SYMM: 3,
+}
+
+#: Noise-stream context for isolated kernel benchmarks — separate
+#: from every algorithm's stream, like a standalone benchmark run.
+_BENCH_CONTEXT = "kernel-benchmark"
+
+
+def _as_dims_matrix(kernel: KernelName, dims) -> np.ndarray:
+    arr = np.asarray(dims, dtype=np.int64)
+    arity = KERNEL_ARITY[kernel]
+    if arr.ndim != 2 or arr.shape[1] != arity:
+        raise ValueError(
+            f"{kernel.value} batch expects (n, {arity}) dims, "
+            f"got shape {arr.shape!r}"
+        )
+    return arr
 
 
 class MachineModel:
@@ -72,6 +107,7 @@ class MachineModel:
         self.reps = reps
         self.variant_dispatch = variant_dispatch
         self.cache_effects = cache_effects
+        self._stream_base_cache: dict = {}
 
     @property
     def peak_flops(self) -> float:
@@ -80,6 +116,39 @@ class MachineModel:
     # ------------------------------------------------------------------
     # Noise-free analytic quantities
     # ------------------------------------------------------------------
+
+    def efficiency_batch(self, kernel: KernelName, dims) -> np.ndarray:
+        """Fraction of machine peak each call of a batch sustains."""
+        dims = _as_dims_matrix(kernel, dims)
+        perf = self.spec.kernel_perf[kernel]
+        if np.any(dims < 1):
+            raise ValueError("dims must be positive")
+        d = dims.astype(np.float64)
+        factors = [
+            np.power(d[:, j] / (d[:, j] + ramp), exponent)
+            for j, (ramp, exponent) in enumerate(
+                zip(perf.ramps, perf.exponents)
+            )
+        ]
+        eff = np.full(dims.shape[0], perf.plateau)
+        if perf.ramp_mode == "product":
+            for factor in factors:
+                eff = eff * factor
+        else:
+            worst = factors[0]
+            for factor in factors[1:]:
+                worst = np.minimum(worst, factor)
+            eff = eff * worst
+        if self.variant_dispatch:
+            for dim, boundary, below_factor in perf.variant_boundaries:
+                eff = np.where(
+                    dims[:, dim] < boundary, eff * below_factor, eff
+                )
+        # Thread balance along the parallel dimension.
+        d_par = d[:, perf.parallel_dim]
+        cores = self.spec.cores
+        eff = eff * (d_par / (np.ceil(d_par / cores) * cores))
+        return eff
 
     def efficiency(self, kernel: KernelName, dims: Sequence[int]) -> float:
         """Fraction of machine peak this kernel call sustains."""
@@ -91,32 +160,34 @@ class MachineModel:
             )
         if any(d < 1 for d in dims):
             raise ValueError(f"dims must be positive, got {tuple(dims)!r}")
-        eff = perf.plateau
-        factors = [
-            (d / (d + ramp)) ** exponent
-            for d, ramp, exponent in zip(dims, perf.ramps, perf.exponents)
-        ]
-        if perf.ramp_mode == "product":
-            for factor in factors:
-                eff *= factor
-        else:
-            eff *= min(factors)
-        if self.variant_dispatch:
-            for dim, boundary, below_factor in perf.variant_boundaries:
-                if dims[dim] < boundary:
-                    eff *= below_factor
-        # Thread balance along the parallel dimension.
-        d_par = dims[perf.parallel_dim]
-        cores = self.spec.cores
-        eff *= d_par / (math.ceil(d_par / cores) * cores)
-        return eff
+        return float(self.efficiency_batch(kernel, [tuple(dims)])[0])
+
+    def kernel_seconds_batch(self, kernel: KernelName, dims) -> np.ndarray:
+        """Noise-free times of a batch of isolated kernel calls."""
+        dims = _as_dims_matrix(kernel, dims)
+        flops = kernel_flops_batch(kernel, dims).astype(np.float64)
+        return flops / (self.efficiency_batch(kernel, dims) * self.peak_flops)
 
     def kernel_seconds(self, kernel: KernelName, dims: Sequence[int]) -> float:
         """Noise-free execution time of one isolated kernel call."""
-        flops = float(kernel_flops(kernel, dims))
-        return flops / (self.efficiency(kernel, dims) * self.peak_flops)
+        return float(self.kernel_seconds_batch(kernel, [tuple(dims)])[0])
 
-    def interference_penalty(self, producer: KernelCall, consumer: KernelCall) -> float:
+    def interference_penalty_batch(
+        self, producer: KernelCallBatch, consumer: KernelCallBatch
+    ) -> np.ndarray:
+        """Per-instance consumer slowdown from the producer's residue."""
+        if not self.cache_effects:
+            return np.zeros(consumer.n)
+        ws_bytes = 8 * consumer.operand_elements()
+        residue_bytes = 8 * producer.output_elements()
+        occupancy = np.minimum(
+            1.0, (ws_bytes + residue_bytes) / self.spec.l2_bytes
+        )
+        return _INTERFERENCE[producer.kernel] * occupancy
+
+    def interference_penalty(
+        self, producer: KernelCall, consumer: KernelCall
+    ) -> float:
         """Relative slowdown of ``consumer`` from the producer's cache residue.
 
         Scales with how much of the private cache the consumer's
@@ -138,52 +209,115 @@ class MachineModel:
     # Measurements (noise + median-of-reps)
     # ------------------------------------------------------------------
 
-    def _measure(self, base_seconds: float, key: str) -> float:
-        samples = [
-            base_seconds * self.noise.factor(key, rep)
-            for rep in range(self.reps)
-        ]
-        return statistics.median(samples)
+    def _stream_base(self, context: str) -> int:
+        base = self._stream_base_cache.get(context)
+        if base is None:
+            base = self.noise.stream_base(context)
+            self._stream_base_cache[context] = base
+        return base
+
+    def _measurement_ids(
+        self,
+        context_base: int,
+        index: Optional[int],
+        kernel: KernelName,
+        dims: np.ndarray,
+    ) -> np.ndarray:
+        """Fold the measurement coordinates into per-instance noise ids."""
+        ids = np.full(dims.shape[0], context_base, dtype=np.uint64)
+        if index is not None:
+            ids = fold(ids, index)
+        ids = fold(ids, _KERNEL_TOKEN[kernel])
+        for j in range(dims.shape[1]):
+            ids = fold(ids, dims[:, j])
+        return ids
+
+    def _measure_batch(
+        self, base_seconds: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        factors = self.noise.factors_from_ids(ids, self.reps)
+        return np.median(base_seconds[:, None] * factors, axis=1)
+
+    def measure_kernel_batch(self, kernel: KernelName, dims) -> np.ndarray:
+        """Median measured times of isolated (flushed-cache) calls."""
+        dims = _as_dims_matrix(kernel, dims)
+        base = self.kernel_seconds_batch(kernel, dims)
+        ids = self._measurement_ids(
+            self._stream_base(_BENCH_CONTEXT), None, kernel, dims
+        )
+        return self._measure_batch(base, ids)
 
     def measure_kernel(self, kernel: KernelName, dims: Sequence[int]) -> float:
         """Median measured time of one isolated (flushed-cache) call."""
-        base = self.kernel_seconds(kernel, dims)
-        key = f"{kernel.value}|{tuple(dims)}"
-        return self._measure(base, key)
+        return float(self.measure_kernel_batch(kernel, [tuple(dims)])[0])
+
+    def _algorithm_batch(
+        self,
+        calls: Sequence[KernelCallBatch],
+        context: str,
+        with_interference: bool,
+    ) -> np.ndarray:
+        if not calls:
+            raise ValueError("algorithm batch needs at least one call")
+        context_base = self._stream_base(context)
+        total = np.zeros(calls[0].n)
+        previous: Optional[KernelCallBatch] = None
+        for index, call in enumerate(calls):
+            base = self.kernel_seconds_batch(call.kernel, call.dims)
+            if (
+                with_interference
+                and previous is not None
+                and call.reads_previous
+            ):
+                base = base * (
+                    1.0 + self.interference_penalty_batch(previous, call)
+                )
+            ids = self._measurement_ids(
+                context_base, index, call.kernel, call.dims
+            )
+            total = total + self._measure_batch(base, ids)
+            previous = call
+        return total
+
+    def measure_algorithm_batch(
+        self, calls: Sequence[KernelCallBatch], context: str = ""
+    ) -> np.ndarray:
+        """Median measured times of whole multi-kernel algorithm runs.
+
+        ``context`` (typically the algorithm name) decorrelates the
+        noise of these runs from every other measurement: two
+        algorithms sharing an identical kernel call still time it
+        independently, as they would on real hardware.
+        """
+        return self._algorithm_batch(calls, context, with_interference=True)
+
+    def predict_algorithm_batch(
+        self, calls: Sequence[KernelCallBatch], context: str = ""
+    ) -> np.ndarray:
+        """Sums of per-kernel times (Experiment 3's benchmark predictor).
+
+        Uses the same noise stream as :meth:`measure_algorithm_batch`
+        so the prediction error isolates exactly what isolated
+        benchmarks cannot see — the inter-kernel cache effects.
+        """
+        return self._algorithm_batch(calls, context, with_interference=False)
 
     def measure_algorithm(
         self, calls: Sequence[KernelCall], context: str = ""
     ) -> float:
-        """Median measured time of a whole multi-kernel algorithm run.
-
-        ``context`` (typically the algorithm name) decorrelates the
-        noise of this run from every other measurement: two algorithms
-        sharing an identical kernel call still time it independently,
-        as they would on real hardware.
-        """
-        total = 0.0
-        previous: Optional[KernelCall] = None
-        for index, call in enumerate(calls):
-            base = self.kernel_seconds(call.kernel, call.dims)
-            if previous is not None and call.reads_previous:
-                base *= 1.0 + self.interference_penalty(previous, call)
-            key = f"{context}|{index}|{call.kernel.value}|{tuple(call.dims)}"
-            total += self._measure(base, key)
-            previous = call
-        return total
+        """Median measured time of a whole multi-kernel algorithm run."""
+        if not calls:
+            return 0.0
+        return float(
+            self.measure_algorithm_batch(batch_kernel_calls(calls, 1), context)[0]
+        )
 
     def predict_algorithm(
         self, calls: Sequence[KernelCall], context: str = ""
     ) -> float:
-        """Sum of per-kernel times (Experiment 3's benchmark predictor).
-
-        Uses the same noise stream as :meth:`measure_algorithm` so the
-        prediction error isolates exactly what isolated benchmarks
-        cannot see — the inter-kernel cache effects.
-        """
-        total = 0.0
-        for index, call in enumerate(calls):
-            base = self.kernel_seconds(call.kernel, call.dims)
-            key = f"{context}|{index}|{call.kernel.value}|{tuple(call.dims)}"
-            total += self._measure(base, key)
-        return total
+        """Sum of per-kernel times for one instance (see batch variant)."""
+        if not calls:
+            return 0.0
+        return float(
+            self.predict_algorithm_batch(batch_kernel_calls(calls, 1), context)[0]
+        )

@@ -4,27 +4,72 @@ Real timings fluctuate (DVFS, co-scheduled daemons, page faults); the
 paper counters this with pinned cores, cache flushing and median-of-k
 repetitions, plus the §3.4.2 hole-tolerance rule when traversing
 regions.  The simulated counterpart is *stateless*: the noise factor
-for a measurement is a pure function of ``(seed, key, rep)``, so a
-measurement repeated anywhere in a pipeline reproduces exactly —
-order-independent determinism, which the experiment code relies on.
+for a measurement is a pure function of ``(seed, measurement id,
+rep)``, so a measurement repeated anywhere in a pipeline reproduces
+exactly — order-independent determinism, which the experiment code
+relies on.
+
+The model is batch-first.  A *measurement id* is a 64-bit integer
+built by hashing the stream context once (:meth:`NoiseModel.stream_base`)
+and then :func:`fold`-ing the discrete measurement coordinates (call
+index, kernel, dims) into it with a SplitMix64-style mixer — pure
+``uint64`` arithmetic that NumPy evaluates elementwise over whole
+arrays of measurements at once.  Per-repetition uniforms come from the
+same mixer, so the scalar path (:meth:`NoiseModel.factor`) is exactly
+the batch path run on a one-element array: integer mixing is exact and
+the float pipeline uses the same NumPy ufunc loops regardless of batch
+size, which makes scalar and batched noise bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import hashlib
-import math
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+
+import numpy as np
+
+#: SplitMix64 increment and finalizer multipliers (Steele et al.).
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+#: Stream-separation constants (hex digits of pi): one independent
+#: uniform stream per role a measurement needs.
+_STREAM_U = np.uint64(0x243F6A8885A308D3)  # log-normal, first uniform
+_STREAM_V = np.uint64(0x13198A2E03707344)  # log-normal, second uniform
+_STREAM_S = np.uint64(0xA4093822299F31D0)  # spike occurrence
+_STREAM_M = np.uint64(0x082EFA98EC4E6C89)  # spike magnitude
+
+_SHIFT_30 = np.uint64(30)
+_SHIFT_27 = np.uint64(27)
+_SHIFT_31 = np.uint64(31)
+_SHIFT_11 = np.uint64(11)
+_TWO_POW_MINUS_53 = 2.0**-53
 
 
-def _unit_from_hash(payload: bytes) -> Tuple[float, float]:
-    """Two deterministic U(0,1) samples from one hashed payload."""
-    digest = hashlib.blake2b(payload, digest_size=16).digest()
-    a, b = struct.unpack("<QQ", digest)
-    scale = 2.0**64
-    # Offset by half an ulp so neither sample is ever exactly 0.
-    return (a + 0.5) / scale, (b + 0.5) / scale
+def mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, elementwise over ``uint64`` arrays."""
+    x = (x ^ (x >> _SHIFT_30)) * _MIX1
+    x = (x ^ (x >> _SHIFT_27)) * _MIX2
+    return x ^ (x >> _SHIFT_31)
+
+
+def fold(h: np.ndarray, value) -> np.ndarray:
+    """Absorb one integer field into a measurement id (elementwise).
+
+    ``value`` may be a Python int, a NumPy scalar, or an array
+    broadcastable against ``h``; it is reduced mod 2**64.
+    """
+    value = np.asarray(value)
+    if value.dtype != np.uint64:
+        value = value.astype(np.int64).view(np.uint64)
+    return mix64((h + _GAMMA) ^ value)
+
+
+def _unit(bits: np.ndarray) -> np.ndarray:
+    """Map ``uint64`` bits to U(0, 1) floats, never exactly 0 or 1."""
+    return ((bits >> _SHIFT_11).astype(np.float64) + 0.5) * _TWO_POW_MINUS_53
 
 
 @dataclass(frozen=True)
@@ -43,16 +88,48 @@ class NoiseModel:
     spike_probability: float = 0.0
     seed: int = 0
 
-    def factor(self, key: str, rep: int) -> float:
-        """Deterministic noise factor (>= ~0) for one measurement."""
-        if self.sigma == 0.0 and self.spike_probability == 0.0:
-            return 1.0
-        u, v = _unit_from_hash(f"{self.seed}|{key}|{rep}".encode())
+    @property
+    def silent(self) -> bool:
+        """True when every factor is exactly 1.0."""
+        return self.sigma == 0.0 and self.spike_probability == 0.0
+
+    def stream_base(self, context: str) -> int:
+        """Root measurement id of one noise stream (seed + context)."""
+        digest = hashlib.blake2b(
+            f"{self.seed}|{context}".encode(), digest_size=8
+        ).digest()
+        return struct.unpack("<Q", digest)[0]
+
+    def factors_from_ids(self, ids, reps: int) -> np.ndarray:
+        """Noise factors for ``reps`` repetitions of each measurement.
+
+        ``ids`` is a ``(n,)`` array-like of ``uint64`` measurement ids;
+        the result has shape ``(n, reps)``.
+        """
+        ids = np.asarray(ids, dtype=np.uint64).reshape(-1)
+        if self.silent:
+            return np.ones((ids.shape[0], reps))
+        rep_ids = fold(ids[:, None], np.arange(reps, dtype=np.int64)[None, :])
+        u = _unit(mix64(rep_ids ^ _STREAM_U))
+        v = _unit(mix64(rep_ids ^ _STREAM_V))
         # Box-Muller from the two uniforms.
-        gauss = math.sqrt(-2.0 * math.log(u)) * math.cos(2.0 * math.pi * v)
-        value = math.exp(self.sigma * gauss)
+        gauss = np.sqrt(-2.0 * np.log(u)) * np.cos(2.0 * np.pi * v)
+        value = np.exp(self.sigma * gauss)
         if self.spike_probability > 0.0:
-            s, m = _unit_from_hash(f"spike|{self.seed}|{key}|{rep}".encode())
-            if s < self.spike_probability:
-                value *= 1.0 + 2.0 * m
+            s = _unit(mix64(rep_ids ^ _STREAM_S))
+            m = _unit(mix64(rep_ids ^ _STREAM_M))
+            value = np.where(
+                s < self.spike_probability, value * (1.0 + 2.0 * m), value
+            )
         return value
+
+    def factors(self, key: str, reps: int) -> np.ndarray:
+        """All ``reps`` factors of one string-keyed measurement."""
+        ids = np.array([self.stream_base(key)], dtype=np.uint64)
+        return self.factors_from_ids(ids, reps)[0]
+
+    def factor(self, key: str, rep: int) -> float:
+        """Deterministic noise factor (> 0) for one measurement."""
+        if self.silent:
+            return 1.0
+        return float(self.factors(key, rep + 1)[rep])

@@ -44,22 +44,26 @@ def scan_efficiency(
 
     ``base`` supplies the fixed dims; ``base[axis]`` is replaced by
     each position.  Efficiency is FLOPs / (measured time x peak).
+    The whole scan is one batched timing call.
     """
     base = list(base)
     if not 0 <= axis < len(base):
         raise ValueError(f"axis {axis} out of range for {base!r}")
-    series: List[Tuple[int, float]] = []
-    for position in positions:
-        dims = tuple(
+    dims_list = [
+        tuple(
             int(position) if i == axis else int(d)
             for i, d in enumerate(base)
         )
-        seconds = backend.time_kernel(kernel, dims)
-        efficiency = float(kernel_flops(kernel, dims)) / (
-            seconds * backend.peak_flops
-        )
-        series.append((dims[axis], efficiency))
-    return series
+        for position in positions
+    ]
+    if not dims_list:
+        return []
+    seconds = backend.time_kernels(kernel, dims_list)
+    peak = backend.peak_flops
+    return [
+        (dims[axis], float(kernel_flops(kernel, dims)) / (s * peak))
+        for dims, s in zip(dims_list, seconds.tolist())
+    ]
 
 
 def find_abrupt_changes(

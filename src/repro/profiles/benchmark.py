@@ -87,10 +87,13 @@ def build_profile(
             f"got {len(axes_t)}"
         )
     shape = tuple(len(axis) for axis in axes_t)
-    times = np.empty(shape)
-    for index in np.ndindex(*shape):
-        dims = tuple(axis[i] for axis, i in zip(axes_t, index))
-        times[index] = backend.time_kernel(kernel, dims)
+    # One batched timing call over the whole grid (C-order, so the
+    # reshape matches np.ndindex iteration).
+    grid = [
+        tuple(axis[i] for axis, i in zip(axes_t, index))
+        for index in np.ndindex(*shape)
+    ]
+    times = backend.time_kernels(kernel, grid).reshape(shape)
     return Profile(kernel=kernel, axes=axes_t, times=times)
 
 

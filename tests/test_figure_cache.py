@@ -1,0 +1,88 @@
+"""On-disk study cache: exact round-trip and graceful degradation."""
+
+import json
+import os
+
+import pytest
+
+from repro.figures import cache
+from repro.figures.common import FigureConfig, clear_study_cache, study_for
+
+
+@pytest.fixture
+def computed_study():
+    clear_study_cache()
+    try:
+        yield study_for(FigureConfig(scale="quick", seed=0), "aatb")
+    finally:
+        clear_study_cache()
+
+
+def test_payload_round_trip_is_exact(tmp_path, computed_study):
+    study = computed_study
+    cache.save_study_payload(
+        tmp_path, "quick", 0, "aatb",
+        study.search, study.regions, study.prediction, study.confusion,
+    )
+    loaded = cache.load_study_payload(tmp_path, "quick", 0, "aatb")
+    assert loaded is not None
+    # Dataclass equality is deep and includes every float bit-for-bit:
+    # JSON uses shortest-repr floats, which round-trip exactly.
+    assert loaded["search"] == study.search
+    assert loaded["regions"] == study.regions
+    assert loaded["prediction"] == study.prediction
+    assert loaded["confusion"] == study.confusion
+
+
+def test_study_for_uses_disk_cache_across_process_caches(
+    tmp_path, computed_study, monkeypatch
+):
+    study = computed_study
+    cache.save_study_payload(
+        tmp_path, "quick", 0, "aatb",
+        study.search, study.regions, study.prediction, study.confusion,
+    )
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+    clear_study_cache()  # simulate a fresh process
+    reloaded = study_for(FigureConfig(scale="quick", seed=0), "aatb")
+    assert reloaded.search == study.search
+    assert reloaded.regions == study.regions
+    assert reloaded.prediction == study.prediction
+    assert reloaded.confusion == study.confusion
+
+
+def test_key_mismatch_and_corruption_fall_back_to_none(
+    tmp_path, computed_study
+):
+    study = computed_study
+    cache.save_study_payload(
+        tmp_path, "quick", 0, "aatb",
+        study.search, study.regions, study.prediction, study.confusion,
+    )
+    # Wrong key coordinates → miss, not a crash.
+    assert cache.load_study_payload(tmp_path, "quick", 1, "aatb") is None
+    assert cache.load_study_payload(tmp_path, "full", 0, "aatb") is None
+    # Tampered schema field → rejected.
+    path = cache.study_path(tmp_path, "quick", 0, "aatb")
+    payload = json.loads(path.read_text())
+    payload["schema"] = cache.SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    assert cache.load_study_payload(tmp_path, "quick", 0, "aatb") is None
+    # Truncated file → rejected.
+    path.write_text(path.read_text()[:40])
+    assert cache.load_study_payload(tmp_path, "quick", 0, "aatb") is None
+    # Unreadable directory → save is best-effort, load misses.
+    missing = tmp_path / "does-not-exist-file" / "nested"
+    assert cache.load_study_payload(missing, "quick", 0, "aatb") is None
+
+
+def test_env_knob_controls_disk_layer(monkeypatch):
+    monkeypatch.delenv(cache.CACHE_DIR_ENV, raising=False)
+    assert cache.cache_dir_from_env() is None
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, "  ")
+    assert cache.cache_dir_from_env() is None
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, "/tmp/somewhere")
+    assert str(cache.cache_dir_from_env()) == "/tmp/somewhere"
+    assert os.path.basename(
+        str(cache.study_path(cache.cache_dir_from_env(), "quick", 3, "aatb"))
+    ) == f"study-v{cache.SCHEMA_VERSION}-quick-seed3-aatb.json"
