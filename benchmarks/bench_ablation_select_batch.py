@@ -1,0 +1,81 @@
+"""Ablation: array-driven selection vs the scalar per-instance loop.
+
+PR 2 left one scalar gap in the selection path: the profile-based
+discriminants predicted each instance through ``Profile.predict``.
+With ``Profile.predict_batch`` (vectorized log-log multilinear
+interpolation) and the ``select_batch`` overrides, the discriminant
+ablations are array-driven end to end.  This bench pins the speedup —
+batched selection over ≥ 1000 instances must beat the scalar loop by
+≥ 10× — and the contract that batched picks agree index-for-index
+with scalar ``select``.
+"""
+
+import random
+import time
+
+from repro.backends.simulated import SimulatedBackend
+from repro.core.discriminants import (
+    FlopsProfileHybrid,
+    ProfiledTimeDiscriminant,
+)
+from repro.core.searchspace import paper_box
+from repro.expressions.registry import get_expression
+from repro.kernels.types import KernelName
+from repro.machine.presets import paper_machine
+from repro.profiles.benchmark import build_all_profiles
+
+N_INSTANCES = 1000
+MIN_SPEEDUP = 10.0
+
+
+def _profiled_discriminants(seed):
+    backend = SimulatedBackend(paper_machine(seed=seed))
+    grid = (24, 64, 160, 400, 800, 1400)
+    profiles = build_all_profiles(
+        backend,
+        axes_by_kernel={
+            KernelName.GEMM: (grid,) * 3,
+            KernelName.SYRK: (grid,) * 2,
+            KernelName.SYMM: (grid,) * 2,
+        },
+    )
+    return [
+        ProfiledTimeDiscriminant(profiles),
+        FlopsProfileHybrid(profiles, margin=0.5),
+    ]
+
+
+def test_select_batch_discriminant_speedup(run_once, fig_config):
+    expression = get_expression("aatb")
+    algorithms = expression.algorithms()
+    rng = random.Random(fig_config.seed + 77)
+    box = paper_box(expression.n_dims)
+    instances = [box.sample(rng) for _ in range(N_INSTANCES)]
+    discriminants = _profiled_discriminants(fig_config.seed)
+
+    def run_batched():
+        return [d.select_batch(algorithms, instances) for d in discriminants]
+
+    batched = run_once(run_batched)
+
+    print()
+    for discriminant, batch_choices in zip(discriminants, batched):
+        # Time both paths outside the harness: the scalar loop is the
+        # *baseline under test*, not an artefact we track release to
+        # release.
+        t0 = time.perf_counter()
+        scalar_choices = [
+            discriminant.select(algorithms, inst) for inst in instances
+        ]
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        discriminant.select_batch(algorithms, instances)
+        batch_s = time.perf_counter() - t0
+        speedup = scalar_s / batch_s
+        print(
+            f"{discriminant.name:<28} scalar {scalar_s * 1e3:8.1f}ms   "
+            f"batch {batch_s * 1e3:7.1f}ms   speedup {speedup:7.1f}x"
+        )
+        # Index-for-index agreement over the full instance set.
+        assert batch_choices == scalar_choices
+        assert speedup >= MIN_SPEEDUP

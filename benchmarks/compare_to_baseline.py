@@ -57,6 +57,16 @@ def main(argv=None) -> int:
             "floor can fail the gate"
         ),
     )
+    parser.add_argument(
+        "--speedup-filter",
+        default="discriminant",
+        help=(
+            "after the gate table, print a per-bench speedup summary "
+            "(baseline/current) for benchmarks whose name contains "
+            "this substring; default highlights the discriminant "
+            "ablations (empty string disables the section)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     current = load_means(args.current)
@@ -81,6 +91,26 @@ def main(argv=None) -> int:
 
     for name in new:
         print(f"{name:<60} {'—':>10} {current[name]:>10.4f}   (no baseline)")
+
+    if args.speedup_filter:
+        highlighted = sorted(
+            name for name in current if args.speedup_filter in name
+        )
+        if highlighted:
+            print(f"\nSpeedups for *{args.speedup_filter}* benchmarks:")
+            for name in highlighted:
+                if name in baseline and current[name]:
+                    speedup = baseline[name] / current[name]
+                    trend = "faster" if speedup >= 1.0 else "slower"
+                    print(
+                        f"  {name:<58} {speedup:>6.2f}x {trend} "
+                        f"({baseline[name]:.4f}s -> {current[name]:.4f}s)"
+                    )
+                else:
+                    print(
+                        f"  {name:<58} {current[name]:>9.4f}s "
+                        "(no baseline)"
+                    )
 
     status = 0
     if missing:

@@ -84,6 +84,38 @@ class _ProfileMixin:
             total += profile.predict(call.dims)
         return total
 
+    def predicted_times_batch(
+        self, algorithm: Algorithm, instances_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Profile-predicted times for all instances as one array.
+
+        The algorithm's calls builder runs once over whole instance
+        columns (its kernel *structure* is instance-independent), then
+        each call slot interpolates through
+        :meth:`repro.profiles.benchmark.Profile.predict_batch`.  Call
+        slots accumulate in the same order as the scalar loop, and the
+        scalar ``Profile.predict`` is a one-row batch, so the summed
+        times equal :meth:`predicted_time` bit for bit.
+        """
+        from repro.kernels.types import batch_kernel_calls
+
+        n = instances_matrix.shape[0]
+        columns = tuple(
+            instances_matrix[:, i]
+            for i in range(instances_matrix.shape[1])
+        )
+        total = np.zeros(n, dtype=np.float64)
+        for call_batch in batch_kernel_calls(
+            algorithm.kernel_calls(columns), n
+        ):
+            profile = self.profiles.get(call_batch.kernel)
+            if profile is None:
+                raise KeyError(
+                    f"no profile for kernel {call_batch.kernel.value}"
+                )
+            total += profile.predict_batch(call_batch.dims)
+        return total
+
 
 class ProfiledTimeDiscriminant(_ProfileMixin, Discriminant):
     name = "profiled-time"
@@ -94,8 +126,31 @@ class ProfiledTimeDiscriminant(_ProfileMixin, Discriminant):
         times = [self.predicted_time(a, instance) for a in algorithms]
         return times.index(min(times))
 
+    def select_batch(
+        self,
+        algorithms: Sequence[Algorithm],
+        instances: Sequence[Sequence[int]],
+    ) -> List[int]:
+        if len(instances) == 0:
+            return []
+        arr = np.asarray(instances, dtype=np.int64)
+        times = np.stack(
+            [self.predicted_times_batch(a, arr) for a in algorithms],
+            axis=1,
+        )
+        return np.argmin(times, axis=1).tolist()
+
 
 class FlopsProfileHybrid(_ProfileMixin, Discriminant):
+    """Shortlist by FLOPs, then rank the shortlist by profiled time.
+
+    Tie behaviour is guaranteed: when several shortlisted algorithms
+    share the minimum profile-predicted time, the *lowest algorithm
+    index* wins — exactly the rule every other discriminant applies
+    (``list.index(min(...))`` / first ``argmin``), so a hybrid pick is
+    reproducible and comparable across discriminants.
+    """
+
     def __init__(
         self, profiles: Dict[KernelName, Profile], margin: float = 0.5
     ) -> None:
@@ -117,7 +172,34 @@ class FlopsProfileHybrid(_ProfileMixin, Discriminant):
             i: self.predicted_time(algorithms[i], instance)
             for i in shortlist
         }
+        # min() keeps the first of equally-fast candidates, and the
+        # shortlist is in ascending index order: ties break low.
         return min(shortlist, key=times.__getitem__)
+
+    def select_batch(
+        self,
+        algorithms: Sequence[Algorithm],
+        instances: Sequence[Sequence[int]],
+    ) -> List[int]:
+        if len(instances) == 0:
+            return []
+        from repro.core.classify import batch_flops
+
+        arr = np.asarray(instances, dtype=np.int64)
+        flops = batch_flops(algorithms, arr)
+        cutoff = flops.min(axis=1) * (1.0 + self.margin)
+        shortlisted = flops <= cutoff[:, None]
+        # Like the scalar path, only shortlisted algorithms are ever
+        # profiled; a column no instance shortlists stays +inf.
+        times = np.full(flops.shape, np.inf)
+        for j, algorithm in enumerate(algorithms):
+            if shortlisted[:, j].any():
+                times[:, j] = self.predicted_times_batch(algorithm, arr)
+        # argmin over +inf-masked times: first (lowest-index) minimum
+        # inside the shortlist, matching the scalar tie rule.
+        return np.argmin(
+            np.where(shortlisted, times, np.inf), axis=1
+        ).tolist()
 
 
 class BenchmarkDiscriminant(Discriminant):

@@ -1,14 +1,17 @@
 """Instance search spaces: integer boxes of operand dimensions.
 
 The paper explores dims independently drawn from ``[20, 1200]``
-(its Table: 20..1200 per dimension) — :func:`paper_box`.
+(its Table: 20..1200 per dimension) — :func:`paper_box`.  Larger
+exploration volumes are registered by name in :data:`NAMED_BOXES`
+(:func:`named_box`), so figure configs and study-cache keys can refer
+to a box with a stable string.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 PAPER_LOW = 20
 PAPER_HIGH = 1200
@@ -64,3 +67,25 @@ class Box:
 def paper_box(n_dims: int) -> Box:
     """The paper's exploration box: every dim in [20, 1200]."""
     return Box((PAPER_LOW,) * n_dims, (PAPER_HIGH,) * n_dims)
+
+
+#: Named per-dim ranges usable as the ``box`` knob of a figure config.
+#: ``paper_box`` is the paper's [20, 1200]; the wider boxes keep the
+#: paper's lower edge (small dims drive the anomalies) and extend the
+#: upper edge beyond the published search volume.
+NAMED_BOXES: Dict[str, Tuple[int, int]] = {
+    "paper_box": (PAPER_LOW, PAPER_HIGH),
+    "wide_box": (PAPER_LOW, 2 * PAPER_HIGH),
+    "huge_box": (PAPER_LOW, 4 * PAPER_HIGH),
+}
+
+
+def named_box(name: str, n_dims: int) -> Box:
+    """Resolve a registered box name to a concrete ``n_dims`` box."""
+    try:
+        low, high = NAMED_BOXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown box {name!r}; known: {', '.join(sorted(NAMED_BOXES))}"
+        ) from None
+    return Box((low,) * n_dims, (high,) * n_dims)

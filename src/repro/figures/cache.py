@@ -1,33 +1,50 @@
-"""On-disk layer for the study cache (``REPRO_CACHE_DIR``).
+"""Study stores: the shared on-disk layer of the study cache.
 
 A computed :class:`repro.figures.common.Study` is fully determined by
-``(scale, seed, expression)`` — the backend is deterministic and the
-experiment drivers are seeded — so its results can be persisted and
-reloaded across processes.  With ``REPRO_CACHE_DIR`` set, regenerating
-an artefact a second time (another pytest-benchmark process, a CI
-re-run, a notebook restart) costs a JSON read instead of the whole
+its :class:`StudyKey` ``(scale, seed, expression, box)`` — the backend
+is deterministic and the experiment drivers are seeded — so its
+results can be persisted and reloaded across processes.  With
+``REPRO_CACHE_DIR`` set, regenerating an artefact a second time
+(another pytest-benchmark process, a CI re-run, a notebook restart, a
+:mod:`repro.runner` worker) costs one store read instead of the whole
 experiment pipeline.
 
-Entries are versioned JSON files, one per study, named
-``study-v{SCHEMA_VERSION}-{scale}-seed{seed}-{expression}.json``.
-The schema version participates in both the filename and the payload:
-bump :data:`SCHEMA_VERSION` whenever the serialized shape *or the
-semantics of the pipeline that produced it* change, and stale entries
-are simply never read again.  JSON round-trips Python floats exactly
-(``repr`` shortest-float), so a loaded study is bit-for-bit the study
-that was saved.
+Persistence goes through the pluggable :class:`StudyStore` interface
+with two backends (pick with ``REPRO_CACHE_STORE``):
 
-Loading is best-effort: a missing, truncated, or version-mismatched
-file silently falls back to recomputation, and writes go through a
-temp file + ``os.replace`` so concurrent regenerations never observe a
-half-written entry.
+* :class:`JsonDirectoryStore` (``json``, the default) — one versioned
+  JSON file per study.  Writes are atomic (temp file + ``os.replace``),
+  so concurrent regenerations never observe a torn file; two racing
+  writers of the same deterministic study simply replace one valid
+  payload with an identical one.
+* :class:`SqliteStudyStore` (``sqlite``) — one WAL-mode SQLite
+  database, one row per study key.  A fleet of
+  :class:`repro.runner.StudyRunner` workers shares it without
+  per-file races: readers never block, writers serialize on SQLite's
+  write lock with a generous busy timeout.
+
+The schema version participates in the store location (filename /
+database name) and the payload: bump :data:`SCHEMA_VERSION` whenever
+the serialized shape *or the semantics of the pipeline that produced
+it* change, and stale entries are simply never read again.  JSON
+round-trips Python floats exactly (``repr`` shortest-float), so a
+loaded study is bit-for-bit the study that was saved — and because
+serialization is canonical (sorted nothing, insertion order, fixed
+separators), any two processes that computed the same study persist
+byte-identical payloads.
+
+Loads and saves are best-effort: a missing, truncated, or
+version-mismatched entry silently falls back to recomputation, and an
+unwritable store degrades to a no-op rather than failing the pipeline.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
@@ -38,11 +55,32 @@ from repro.experiments.random_search import Anomaly, SearchResult
 from repro.experiments.regions import DimExtent, Region, RegionCell, Regions
 
 #: Bump when the payload layout or the producing pipeline changes.
-SCHEMA_VERSION = 1
+#: v2: study keys (and payloads) carry the search ``box`` name.
+SCHEMA_VERSION = 2
 
 #: Environment variable naming the cache directory; unset disables
 #: the disk layer.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable selecting the store backend (``json`` default).
+CACHE_STORE_ENV = "REPRO_CACHE_STORE"
+
+#: Valid values of :data:`CACHE_STORE_ENV`.
+STORE_KINDS = ("json", "sqlite")
+
+
+@dataclass(frozen=True, order=True)
+class StudyKey:
+    """Everything that determines one study's results."""
+
+    scale: str
+    seed: int
+    expression: str
+    box: str = "paper_box"
+
+    @property
+    def slug(self) -> str:
+        return f"{self.scale}-seed{self.seed}-{self.expression}-{self.box}"
 
 
 def cache_dir_from_env() -> Optional[Path]:
@@ -50,10 +88,20 @@ def cache_dir_from_env() -> Optional[Path]:
     return Path(value) if value else None
 
 
-def study_path(cache_dir: Path, scale: str, seed: int, expression: str) -> Path:
-    return cache_dir / (
-        f"study-v{SCHEMA_VERSION}-{scale}-seed{seed}-{expression}.json"
-    )
+def store_kind_from_env() -> str:
+    value = os.environ.get(CACHE_STORE_ENV, "").strip().lower()
+    if not value:
+        return STORE_KINDS[0]
+    if value not in STORE_KINDS:
+        raise ValueError(
+            f"{CACHE_STORE_ENV} must be one of {'/'.join(STORE_KINDS)}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def study_path(cache_dir: Path, key: StudyKey) -> Path:
+    return cache_dir / f"study-v{SCHEMA_VERSION}-{key.slug}.json"
 
 
 # ----------------------------------------------------------------------
@@ -215,61 +263,47 @@ def _confusion_from_payload(payload: dict) -> ConfusionMatrix:
 
 
 # ----------------------------------------------------------------------
-# Disk I/O
+# Canonical study codec (shared by every store backend)
 # ----------------------------------------------------------------------
 
 
-def save_study_payload(
-    cache_dir: Path,
-    scale: str,
-    seed: int,
-    expression: str,
+def encode_study(
+    key: StudyKey,
     search: SearchResult,
     regions: Regions,
     prediction: Prediction,
     confusion: ConfusionMatrix,
-) -> None:
-    """Atomically persist one study's results (best effort)."""
+) -> str:
+    """One study as canonical JSON text.
+
+    Fixed field order + fixed separators: two processes that computed
+    the same deterministic study encode byte-identical text, whichever
+    store backend (or worker) persists it.
+    """
     payload = {
         "schema": SCHEMA_VERSION,
-        "scale": scale,
-        "seed": seed,
-        "expression": expression,
+        "scale": key.scale,
+        "seed": key.seed,
+        "expression": key.expression,
+        "box": key.box,
         "search": _search_to_payload(search),
         "regions": _regions_to_payload(regions),
         "prediction": _prediction_to_payload(prediction),
         "confusion": _confusion_to_payload(confusion),
     }
-    path = study_path(cache_dir, scale, seed, expression)
-    try:
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(cache_dir), prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(tmp_name, path)
-        except BaseException:
-            os.unlink(tmp_name)
-            raise
-    except OSError:
-        return
+    return json.dumps(payload, separators=(",", ":"))
 
 
-def load_study_payload(
-    cache_dir: Path, scale: str, seed: int, expression: str
-) -> Optional[dict]:
-    """Load and validate one study's results; None on any mismatch."""
-    path = study_path(cache_dir, scale, seed, expression)
+def decode_study(text: str, key: StudyKey) -> Optional[dict]:
+    """Parse and validate study text; None on any mismatch."""
     try:
-        with open(path) as handle:
-            payload = json.load(handle)
+        payload = json.loads(text)
         if not isinstance(payload, dict) or (
             payload.get("schema") != SCHEMA_VERSION
-            or payload.get("scale") != scale
-            or payload.get("seed") != seed
-            or payload.get("expression") != expression
+            or payload.get("scale") != key.scale
+            or payload.get("seed") != key.seed
+            or payload.get("expression") != key.expression
+            or payload.get("box") != key.box
         ):
             return None
         return {
@@ -278,5 +312,195 @@ def load_study_payload(
             "prediction": _prediction_from_payload(payload["prediction"]),
             "confusion": _confusion_from_payload(payload["confusion"]),
         }
-    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+    except (ValueError, KeyError, TypeError, AttributeError):
         return None
+
+
+# ----------------------------------------------------------------------
+# Store backends
+# ----------------------------------------------------------------------
+
+
+class StudyStore:
+    """Keyed persistence for study results; load misses return None.
+
+    Implementations must be safe for many concurrent processes: a
+    reader never observes a torn payload, and racing writers of the
+    same key leave exactly one valid payload behind.  All operations
+    are best-effort — storage failures degrade to cache misses, never
+    to pipeline errors.
+    """
+
+    kind: str = ""
+
+    def load(self, key: StudyKey) -> Optional[dict]:
+        raise NotImplementedError
+
+    def save(
+        self,
+        key: StudyKey,
+        search: SearchResult,
+        regions: Regions,
+        prediction: Prediction,
+        confusion: ConfusionMatrix,
+    ) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "StudyStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonDirectoryStore(StudyStore):
+    """Versioned JSON files, one per study, atomically replaced.
+
+    The write goes to a ``mkstemp`` temp file in the same directory and
+    lands via ``os.replace``, which is atomic on POSIX and Windows —
+    concurrent readers see either no file, the old payload, or the new
+    payload, never a prefix.
+    """
+
+    kind = "json"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: StudyKey) -> Path:
+        return study_path(self.root, key)
+
+    def load(self, key: StudyKey) -> Optional[dict]:
+        try:
+            text = self.path_for(key).read_text()
+        except (OSError, UnicodeDecodeError):
+            return None
+        return decode_study(text, key)
+
+    def save(self, key, search, regions, prediction, confusion) -> None:
+        text = encode_study(key, search, regions, prediction, confusion)
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            return
+
+
+class SqliteStudyStore(StudyStore):
+    """One WAL-mode SQLite database, one row per study key.
+
+    WAL lets any number of readers proceed while a writer commits;
+    writers serialize on the database write lock with a 30 s busy
+    timeout, so a fleet of runner workers can share one store without
+    the per-file open/replace races of a directory layout.  Saves are
+    idempotent upserts — the deterministic pipeline means two workers
+    racing on one key write identical payloads.
+    """
+
+    kind = "sqlite"
+    DB_NAME = f"studies-v{SCHEMA_VERSION}.sqlite"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._conn: Optional[sqlite3.Connection] = None
+
+    @property
+    def db_path(self) -> Path:
+        return self.root / self.DB_NAME
+
+    def _connect(self) -> Optional[sqlite3.Connection]:
+        if self._conn is not None:
+            return self._conn
+        conn = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self.db_path), timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            with conn:
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS studies ("
+                    "skey TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+                )
+        except (sqlite3.Error, OSError):
+            if conn is not None:
+                conn.close()
+            return None
+        self._conn = conn
+        return conn
+
+    def load(self, key: StudyKey) -> Optional[dict]:
+        text = self.raw_payload(key)
+        return None if text is None else decode_study(text, key)
+
+    def raw_payload(self, key: StudyKey) -> Optional[str]:
+        """The stored text for a key (testing / equality checks)."""
+        conn = self._connect()
+        if conn is None:
+            return None
+        try:
+            row = conn.execute(
+                "SELECT payload FROM studies WHERE skey = ?", (key.slug,)
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        return None if row is None else row[0]
+
+    def save(self, key, search, regions, prediction, confusion) -> None:
+        conn = self._connect()
+        if conn is None:
+            return
+        text = encode_study(key, search, regions, prediction, confusion)
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT INTO studies (skey, payload) VALUES (?, ?) "
+                    "ON CONFLICT(skey) DO UPDATE SET payload = excluded.payload",
+                    (key.slug, text),
+                )
+        except sqlite3.Error:
+            return
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+
+def make_store(kind: str, cache_dir: Path) -> StudyStore:
+    """Instantiate a store backend by name over a cache directory."""
+    if kind == "json":
+        return JsonDirectoryStore(Path(cache_dir))
+    if kind == "sqlite":
+        return SqliteStudyStore(Path(cache_dir))
+    raise ValueError(
+        f"unknown store kind {kind!r}; known: {'/'.join(STORE_KINDS)}"
+    )
+
+
+def store_from_env() -> Optional[StudyStore]:
+    """The store selected by ``REPRO_CACHE_DIR``/``REPRO_CACHE_STORE``.
+
+    None when no cache directory is configured; raises ``ValueError``
+    on an invalid store kind (the benchmark conftest turns that into a
+    usage error before any pipeline runs).
+    """
+    cache_dir = cache_dir_from_env()
+    if cache_dir is None:
+        return None
+    return make_store(store_kind_from_env(), cache_dir)

@@ -5,14 +5,24 @@ Experiment 1 (random search), Experiment 2 (region traversal) and
 Experiment 3 (benchmark prediction + confusion) — on the paper
 machine.  Figures 6-11 and both tables are different views of the
 same study, so :func:`study_for` memoises one study per
-``(scale, seed, expression)`` for the whole process: the benchmark
-suite runs each pipeline once however many artefacts it regenerates.
+``(scale, seed, expression, box)`` for the whole process: the
+benchmark suite runs each pipeline once however many artefacts it
+regenerates.
 
 Setting ``REPRO_CACHE_DIR`` adds an on-disk layer underneath the
 process cache (see :mod:`repro.figures.cache`): studies computed by
-*any* process land there as versioned JSON, and later processes load
-them instead of recomputing — repeated artefact regeneration across
-benchmark runs becomes near-free.
+*any* process land in the configured :class:`~repro.figures.cache.StudyStore`
+(versioned-JSON directory by default, SQLite with
+``REPRO_CACHE_STORE=sqlite``), and later processes load them instead
+of recomputing — repeated artefact regeneration across benchmark runs
+becomes near-free, and :class:`repro.runner.StudyRunner` workers use
+the same store as their shared result channel.
+
+The exploration volume is a named box (``FigureConfig.box``,
+default ``paper_box`` = the paper's [20, 1200] per dim; see
+:data:`repro.core.searchspace.NAMED_BOXES`), and participates in the
+study key: larger-than-paper boxes are one flag away and never collide
+with paper-box cache entries.
 """
 
 from __future__ import annotations
@@ -21,13 +31,9 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.analysis.confusion import ConfusionMatrix, confusion_from_prediction
-from repro.figures.cache import (
-    cache_dir_from_env,
-    load_study_payload,
-    save_study_payload,
-)
+from repro.figures.cache import StudyKey, store_from_env
 from repro.backends.simulated import SimulatedBackend
-from repro.core.searchspace import paper_box
+from repro.core.searchspace import NAMED_BOXES, named_box
 from repro.experiments.prediction import Prediction, predict_from_benchmarks
 from repro.experiments.random_search import SearchResult, random_search
 from repro.experiments.regions import Regions, explore_regions
@@ -49,16 +55,30 @@ class FigureConfig:
 
     scale: str = "quick"
     seed: int = 0
+    box: str = "paper_box"
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
             raise ValueError(
                 f"scale must be one of {_SCALES}, got {self.scale!r}"
             )
+        if self.box not in NAMED_BOXES:
+            raise ValueError(
+                f"box must be one of {tuple(sorted(NAMED_BOXES))}, "
+                f"got {self.box!r}"
+            )
 
     @property
     def is_full(self) -> bool:
         return self.scale == "full"
+
+    def study_key(self, expression_name: str) -> StudyKey:
+        return StudyKey(
+            scale=self.scale,
+            seed=self.seed,
+            expression=expression_name,
+            box=self.box,
+        )
 
     def search_params(self, expression_name: str) -> Dict[str, int]:
         if expression_name.startswith("chain"):
@@ -94,37 +114,27 @@ class Study:
     confusion: ConfusionMatrix
 
 
-_STUDY_CACHE: Dict[Tuple[str, int, str], Study] = {}
+_STUDY_CACHE: Dict[Tuple[str, int, str, str], Study] = {}
 
 
-def study_for(config: FigureConfig, expression_name: str) -> Study:
-    """The cached study for one expression at one scale/seed."""
-    key = (config.scale, config.seed, expression_name)
-    if key in _STUDY_CACHE:
-        return _STUDY_CACHE[key]
+def compute_study_results(
+    config: FigureConfig,
+    expression_name: str,
+    backend: SimulatedBackend = None,
+) -> Tuple[SearchResult, Regions, Prediction, ConfusionMatrix]:
+    """Run the full experiment pipeline for one study, uncached.
 
+    This is the deterministic unit of work both :func:`study_for` and
+    :mod:`repro.runner` workers execute: results depend only on the
+    study key, never on the process that computed them.  A caller that
+    keeps using the backend afterwards (``study_for`` attaches it to
+    the Study for the trace figures) passes its own, so the pipeline's
+    measurement memo stays warm.
+    """
     expression = get_expression(expression_name)
-    backend = SimulatedBackend(paper_machine(seed=config.seed))
-
-    cache_dir = cache_dir_from_env()
-    if cache_dir is not None:
-        loaded = load_study_payload(
-            cache_dir, config.scale, config.seed, expression_name
-        )
-        if loaded is not None:
-            study = Study(
-                config=config,
-                expression=expression,
-                backend=backend,
-                search=loaded["search"],
-                regions=loaded["regions"],
-                prediction=loaded["prediction"],
-                confusion=loaded["confusion"],
-            )
-            _STUDY_CACHE[key] = study
-            return study
-
-    box = paper_box(expression.n_dims)
+    if backend is None:
+        backend = SimulatedBackend(paper_machine(seed=config.seed))
+    box = named_box(config.box, expression.n_dims)
     search = random_search(
         backend,
         expression,
@@ -148,7 +158,39 @@ def study_for(config: FigureConfig, expression_name: str) -> Study:
     )
     prediction = predict_from_benchmarks(backend, expression, regions)
     confusion = confusion_from_prediction(prediction)
+    return search, regions, prediction, confusion
 
+
+def study_for(config: FigureConfig, expression_name: str) -> Study:
+    """The cached study for one expression at one scale/seed/box."""
+    key = (config.scale, config.seed, expression_name, config.box)
+    if key in _STUDY_CACHE:
+        return _STUDY_CACHE[key]
+
+    expression = get_expression(expression_name)
+    backend = SimulatedBackend(paper_machine(seed=config.seed))
+    store = store_from_env()
+    store_key = config.study_key(expression_name)
+
+    if store is not None:
+        with store:
+            loaded = store.load(store_key)
+        if loaded is not None:
+            study = Study(
+                config=config,
+                expression=expression,
+                backend=backend,
+                search=loaded["search"],
+                regions=loaded["regions"],
+                prediction=loaded["prediction"],
+                confusion=loaded["confusion"],
+            )
+            _STUDY_CACHE[key] = study
+            return study
+
+    search, regions, prediction, confusion = compute_study_results(
+        config, expression_name, backend=backend
+    )
     study = Study(
         config=config,
         expression=expression,
@@ -159,17 +201,9 @@ def study_for(config: FigureConfig, expression_name: str) -> Study:
         confusion=confusion,
     )
     _STUDY_CACHE[key] = study
-    if cache_dir is not None:
-        save_study_payload(
-            cache_dir,
-            config.scale,
-            config.seed,
-            expression_name,
-            search,
-            regions,
-            prediction,
-            confusion,
-        )
+    if store is not None:
+        with store:
+            store.save(store_key, search, regions, prediction, confusion)
     return study
 
 

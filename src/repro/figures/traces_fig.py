@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.analysis.traces import LineTraces, trace_line
-from repro.core.searchspace import paper_box
+from repro.core.searchspace import named_box
 from repro.figures.common import REGION_THRESHOLD, FigureConfig, study_for
 
 
@@ -21,7 +21,7 @@ def generate_chain_lines(
 ) -> TraceFigureData:
     """Lines through the widest dimension of distinct chain regions."""
     study = study_for(config, "chain4")
-    box = paper_box(study.expression.n_dims)
+    box = named_box(config.box, study.expression.n_dims)
     lines: List[LineTraces] = []
     for region in study.regions.regions:
         if not region.extents:
@@ -45,7 +45,7 @@ def generate_chain_lines(
 def generate_aatb_lines(config: FigureConfig) -> TraceFigureData:
     """One line per dimension through one anomalous ``A Aᵀ B`` region."""
     study = study_for(config, "aatb")
-    box = paper_box(study.expression.n_dims)
+    box = named_box(config.box, study.expression.n_dims)
     origin = None
     for region in study.regions.regions:
         if region.extents:

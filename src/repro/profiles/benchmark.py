@@ -5,11 +5,16 @@ grid and predicts the time of an arbitrary call by multilinear
 interpolation in log-log space (BLAS times are near power-law in each
 dimension, so log-log interpolation stays accurate across the
 20..1400 range with a handful of grid points).
+
+Prediction is batch-first: :meth:`Profile.predict_batch` interpolates
+whole ``(n, arity)`` dim matrices with array arithmetic, and the
+scalar :meth:`Profile.predict` *is* a one-row batch — so scalar and
+batched predictions are bit-for-bit identical by construction (the
+repo-wide batching contract, see ``tests/test_batch_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
@@ -33,7 +38,21 @@ class Profile:
             )
         if any(len(axis) < 2 for axis in self.axes):
             raise ValueError("each axis needs at least two grid points")
-        object.__setattr__(self, "_log_times", np.log(self.times))
+        flat_log = np.log(np.ascontiguousarray(self.times)).reshape(-1)
+        object.__setattr__(self, "_flat_log_times", flat_log)
+        # Row-major strides (in elements) into the flattened grid, and
+        # per-axis float views + log views for the interpolation.
+        strides = np.ones(len(self.axes), dtype=np.int64)
+        for i in range(len(self.axes) - 2, -1, -1):
+            strides[i] = strides[i + 1] * len(self.axes[i + 1])
+        object.__setattr__(self, "_strides", strides)
+        axes_f = tuple(
+            np.asarray(axis, dtype=np.float64) for axis in self.axes
+        )
+        object.__setattr__(self, "_axes_f", axes_f)
+        object.__setattr__(
+            self, "_log_axes", tuple(np.log(a) for a in axes_f)
+        )
 
     @property
     def n_points(self) -> int:
@@ -41,39 +60,57 @@ class Profile:
 
     def predict(self, dims: Sequence[int]) -> float:
         """Interpolated time for one call; clamped outside the grid."""
-        if len(dims) != len(self.axes):
+        return float(self.predict_batch(np.asarray(dims)[None, :])[0])
+
+    def predict_batch(self, dims_matrix: np.ndarray) -> np.ndarray:
+        """Interpolated times for ``(n, arity)`` calls at once.
+
+        Vectorized log-log multilinear interpolation: per axis, the
+        bracketing grid cell and log-space weight for every row; then
+        the blend over the 2^arity cell corners as array arithmetic.
+        Values outside the grid are clamped, exactly like the scalar
+        path (which is this method on a one-row matrix).
+        """
+        dims = np.asarray(dims_matrix, dtype=np.float64)
+        if dims.ndim != 2 or dims.shape[1] != len(self.axes):
             raise ValueError(
-                f"{self.kernel.value} takes {len(self.axes)} dims"
+                f"{self.kernel.value} takes (n, {len(self.axes)}) dims, "
+                f"got shape {dims.shape!r}"
             )
-        log_times = self._log_times
-        # Per-axis: find bracketing grid cell and log-space weight.
-        corners = []
-        for value, axis in zip(dims, self.axes):
-            v = min(max(float(value), axis[0]), axis[-1])
-            hi = 1
-            while hi < len(axis) - 1 and axis[hi] < v:
-                hi += 1
+        n = dims.shape[0]
+        n_axes = len(self.axes)
+        lows = np.empty((n, n_axes), dtype=np.int64)
+        weights = np.empty((n, n_axes), dtype=np.float64)
+        for axis_i, (axis_f, log_axis) in enumerate(
+            zip(self._axes_f, self._log_axes)
+        ):
+            v = np.clip(dims[:, axis_i], axis_f[0], axis_f[-1])
+            hi = np.clip(
+                np.searchsorted(axis_f, v, side="left"), 1, len(axis_f) - 1
+            )
             lo = hi - 1
-            weight = (math.log(v) - math.log(axis[lo])) / (
-                math.log(axis[hi]) - math.log(axis[lo])
+            lows[:, axis_i] = lo
+            weights[:, axis_i] = (np.log(v) - log_axis[lo]) / (
+                log_axis[hi] - log_axis[lo]
             )
-            corners.append((lo, hi, weight))
-        # Multilinear blend over the 2^n cell corners.
-        total = 0.0
-        n = len(corners)
-        for mask in range(1 << n):
-            weight = 1.0
-            index = []
-            for axis_i, (lo, hi, w) in enumerate(corners):
+        # Multilinear blend over the 2^n cell corners, accumulated in
+        # the same corner order (and per-axis factor order) as the
+        # scalar loop used to, so results are reproducible bit-for-bit.
+        total = np.zeros(n, dtype=np.float64)
+        flat_log = self._flat_log_times
+        strides = self._strides
+        for mask in range(1 << n_axes):
+            weight = np.ones(n, dtype=np.float64)
+            flat_index = np.zeros(n, dtype=np.int64)
+            for axis_i in range(n_axes):
                 if mask >> axis_i & 1:
-                    weight *= w
-                    index.append(hi)
+                    weight = weight * weights[:, axis_i]
+                    flat_index += (lows[:, axis_i] + 1) * strides[axis_i]
                 else:
-                    weight *= 1.0 - w
-                    index.append(lo)
-            if weight:
-                total += weight * float(log_times[tuple(index)])
-        return math.exp(total)
+                    weight = weight * (1.0 - weights[:, axis_i])
+                    flat_index += lows[:, axis_i] * strides[axis_i]
+            total += weight * flat_log[flat_index]
+        return np.exp(total)
 
 
 def build_profile(

@@ -1,0 +1,20 @@
+"""Parallel multi-study runner (``python -m repro.runner``).
+
+The paper's artefact suite is embarrassingly parallel: every figure
+and table is a view of an independent ``(expression, scale, seed,
+box)`` study.  :class:`StudyRunner` enumerates the full study matrix,
+partitions it across a ``concurrent.futures.ProcessPoolExecutor``, and
+collects results through the shared :class:`repro.figures.cache.StudyStore`
+— so a full-scale regeneration saturates every core instead of one,
+and a later benchmark run (or another machine sharing the store) finds
+every study warm.
+"""
+
+from repro.runner.runner import (
+    RunReport,
+    StudyOutcome,
+    StudyRunner,
+    study_matrix,
+)
+
+__all__ = ["RunReport", "StudyOutcome", "StudyRunner", "study_matrix"]

@@ -1,0 +1,165 @@
+"""CLI for the parallel multi-study runner.
+
+Regenerate the quick-scale study matrix across 4 processes into a
+shared SQLite store::
+
+    PYTHONPATH=src python -m repro.runner \
+        --scale quick --jobs 4 --store sqlite --cache-dir .study-cache
+
+A later benchmark run pointed at the same store
+(``REPRO_CACHE_DIR=.study-cache REPRO_CACHE_STORE=sqlite``) finds
+every study warm.  Extra studies beyond the registered-expression
+matrix ride along via ``--extra scale:seed:expression[:box]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.searchspace import NAMED_BOXES
+from repro.figures.cache import (
+    CACHE_DIR_ENV,
+    STORE_KINDS,
+    StudyKey,
+)
+from repro.runner.runner import StudyRunner, study_matrix
+
+
+def _parse_extra(raw: str) -> StudyKey:
+    parts = raw.split(":")
+    if len(parts) not in (3, 4):
+        raise argparse.ArgumentTypeError(
+            f"--extra takes scale:seed:expression[:box], got {raw!r}"
+        )
+    scale, seed, expression = parts[0], parts[1], parts[2]
+    box = parts[3] if len(parts) == 4 else "paper_box"
+    try:
+        seed_value = int(seed)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--extra seed must be an integer, got {seed!r}"
+        ) from None
+    return StudyKey(
+        scale=scale, seed=seed_value, expression=expression, box=box
+    )
+
+
+def _parse_seeds(raw: str) -> List[int]:
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--seeds takes comma-separated integers, got {raw!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scale",
+        action="append",
+        choices=("quick", "full"),
+        help="study scale; repeatable (default: quick)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=[0],
+        help="comma-separated machine/experiment seeds (default: 0)",
+    )
+    parser.add_argument(
+        "--expressions",
+        default=None,
+        help="comma-separated expression names "
+        "(default: all registered expressions)",
+    )
+    parser.add_argument(
+        "--box",
+        default="paper_box",
+        choices=tuple(sorted(NAMED_BOXES)),
+        help="named exploration box (default: paper_box)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: 1 = sequential in-process)",
+    )
+    parser.add_argument(
+        "--store",
+        default=STORE_KINDS[0],
+        choices=STORE_KINDS,
+        help="study-store backend shared by all workers (default: json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"store directory (default: ${CACHE_DIR_ENV})",
+    )
+    parser.add_argument(
+        "--extra",
+        action="append",
+        type=_parse_extra,
+        default=[],
+        metavar="SCALE:SEED:EXPR[:BOX]",
+        help="extra study beyond the matrix; repeatable",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the study matrix and exit without running",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(
+            f"error: no store directory; pass --cache-dir or set "
+            f"{CACHE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    expressions = (
+        [name for name in args.expressions.split(",") if name.strip()]
+        if args.expressions is not None
+        else None
+    )
+    keys = study_matrix(
+        scales=tuple(args.scale) if args.scale else ("quick",),
+        seeds=args.seeds,
+        expressions=expressions,
+        box=args.box,
+        extras=args.extra,
+    )
+    if args.list:
+        for key in keys:
+            print(key.slug)
+        return 0
+    runner = StudyRunner(
+        cache_dir=cache_dir, store=args.store, jobs=args.jobs
+    )
+    report = runner.run(keys)
+    for outcome in report.outcomes:
+        line = (
+            f"[{outcome.status:>8}] {outcome.key.slug:<40} "
+            f"{outcome.seconds:7.2f}s"
+        )
+        if outcome.error:
+            line += f"  {outcome.error}"
+        print(line)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

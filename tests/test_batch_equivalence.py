@@ -379,3 +379,88 @@ def test_base_predict_time_dedupes_kernel_timings(aatb):
     assert out.tolist() == [2.0, 2.0, 2.0]
     # one distinct call for the first two instances + two for the third
     assert len(backend.kernel_calls) == 3
+
+
+# ----------------------------------------------------------------------
+# Profiles and profile-based discriminants
+# ----------------------------------------------------------------------
+
+_PROFILE_GRID = (24, 64, 160, 400, 800, 1400)
+
+
+def _profiles_for(seed):
+    from repro.profiles.benchmark import build_all_profiles
+
+    backend = SimulatedBackend(paper_machine(seed=seed))
+    return backend, build_all_profiles(
+        backend,
+        axes_by_kernel={
+            KernelName.GEMM: (_PROFILE_GRID,) * 3,
+            KernelName.SYRK: (_PROFILE_GRID,) * 2,
+            KernelName.SYMM: (_PROFILE_GRID,) * 2,
+        },
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_profile_predict_batch_matches_scalar(seed):
+    _, profiles = _profiles_for(seed)
+    rng = random.Random(seed)
+    for profile in profiles.values():
+        arity = len(profile.axes)
+        # On-grid, off-grid, and out-of-range (clamped) dims.
+        dims = [tuple(rng.randint(1, 2000) for _ in range(arity))
+                for _ in range(50)]
+        dims += [
+            tuple(_PROFILE_GRID[0] for _ in range(arity)),
+            tuple(_PROFILE_GRID[-1] for _ in range(arity)),
+            tuple(3000 for _ in range(arity)),
+        ]
+        batch = profile.predict_batch(np.asarray(dims, dtype=np.int64))
+        scalar = [profile.predict(d) for d in dims]
+        # Bit-for-bit: the scalar path IS a one-row batch.
+        assert batch.tolist() == scalar
+        with pytest.raises(ValueError):
+            profile.predict_batch(np.zeros((4, arity + 1), dtype=np.int64))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_profiled_discriminant_select_batch_matches_scalar(
+    seed, aatb, chain
+):
+    from repro.core.discriminants import (
+        FlopsProfileHybrid,
+        ProfiledTimeDiscriminant,
+    )
+
+    _, profiles = _profiles_for(seed)
+    for expression in (aatb, chain):
+        algorithms = expression.algorithms()
+        instances = _instances(expression.n_dims, 200, seed=seed)
+        for discriminant in (
+            ProfiledTimeDiscriminant(profiles),
+            FlopsProfileHybrid(profiles, margin=0.5),
+            FlopsProfileHybrid(profiles, margin=0.0),
+            FlopsProfileHybrid(profiles, margin=5.0),
+        ):
+            scalar = [
+                discriminant.select(algorithms, inst) for inst in instances
+            ]
+            assert discriminant.select_batch(algorithms, instances) == scalar
+            assert discriminant.select_batch(algorithms, []) == []
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_predicted_times_batch_matches_scalar_sum(seed, aatb):
+    from repro.core.discriminants import ProfiledTimeDiscriminant
+
+    _, profiles = _profiles_for(seed)
+    discriminant = ProfiledTimeDiscriminant(profiles)
+    instances = _instances(aatb.n_dims, 60, seed=seed)
+    arr = np.asarray(instances, dtype=np.int64)
+    for algorithm in aatb.algorithms():
+        batch = discriminant.predicted_times_batch(algorithm, arr)
+        assert batch.tolist() == [
+            discriminant.predicted_time(algorithm, inst)
+            for inst in instances
+        ]

@@ -26,3 +26,19 @@ def test_study_cache_returns_same_object():
         assert study_c is not study_a
     finally:
         clear_study_cache()
+
+
+def test_trace_figures_respect_the_box_knob():
+    """Figures 8/11 must trace inside the configured box, not paper_box."""
+    from repro.figures import fig11, fig8
+
+    clear_study_cache()
+    try:
+        config = FigureConfig(scale="quick", seed=0, box="wide_box")
+        chain_data = fig8.generate(config)
+        aatb_data = fig11.generate(config)
+    finally:
+        clear_study_cache()
+    for data in (chain_data, aatb_data):
+        for line in data.lines:
+            assert max(line.positions) <= 2400

@@ -93,3 +93,46 @@ def test_confusion_matrix_arithmetic():
     assert empty.recall == 1.0 and empty.precision == 1.0
     table = matrix.format_table("title")
     assert "title" in table and "75.0%" in table
+
+
+def test_profile_time_ties_break_to_lowest_algorithm_index():
+    """Guaranteed tie rule: equal profiled times → lowest index wins."""
+    import numpy as np
+
+    from repro.core.discriminants import ProfiledTimeDiscriminant
+    from repro.profiles.benchmark import Profile
+
+    # Constant-time profiles make every algorithm's predicted time
+    # identical, so every selection is a pure tie.
+    flat = {
+        kernel: Profile(
+            kernel=kernel,
+            axes=((GRID[0], GRID[-1]),) * {"gemm": 3}.get(kernel.value, 2),
+            times=np.full((2,) * {"gemm": 3}.get(kernel.value, 2), 1e-3),
+        )
+        for kernel in KernelName
+    }
+    aatb = get_expression("aatb")
+    algorithms = aatb.algorithms()
+    instances = [(92, 600, 600), (30, 40, 50), (1200, 1200, 1200)]
+
+    profiled = ProfiledTimeDiscriminant(flat)
+    for instance in instances:
+        assert profiled.select(algorithms, instance) == 0
+    assert profiled.select_batch(algorithms, instances) == [0, 0, 0]
+
+    # The hybrid's tie lands on the lowest index *of the shortlist*:
+    # with a wide-open margin that is algorithm 0, with margin 0 it is
+    # the first FLOP-cheapest algorithm — in both the scalar and the
+    # batch path.
+    wide = FlopsProfileHybrid(flat, margin=100.0)
+    strict = FlopsProfileHybrid(flat, margin=0.0)
+    for instance in instances:
+        assert wide.select(algorithms, instance) == 0
+        first_cheapest = min(
+            range(len(algorithms)),
+            key=lambda i: (int(algorithms[i].flops(instance)), i),
+        )
+        assert strict.select(algorithms, instance) == first_cheapest
+        assert strict.select_batch(algorithms, [instance]) == [first_cheapest]
+    assert wide.select_batch(algorithms, instances) == [0, 0, 0]

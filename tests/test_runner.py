@@ -1,0 +1,140 @@
+"""Parallel multi-study runner: matrix, equivalence, CLI.
+
+The load-bearing promise: a parallel run and a sequential run of the
+same study matrix leave **byte-identical** payloads in the store —
+the pipeline is deterministic per key, and workers communicate only
+through the store.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.figures.cache import (
+    JsonDirectoryStore,
+    SqliteStudyStore,
+    StudyKey,
+)
+from repro.runner import StudyRunner, study_matrix
+from repro.runner.__main__ import main as runner_main
+from repro.runner.runner import run_study
+
+MATRIX = (
+    StudyKey("quick", 0, "aatb"),
+    StudyKey("quick", 1, "aatb"),
+    StudyKey("quick", 0, "chain4"),
+    StudyKey("quick", 1, "chain4"),
+)
+
+
+def test_study_matrix_enumerates_registered_expressions_plus_extras():
+    keys = study_matrix(seeds=(0, 1))
+    assert StudyKey("quick", 0, "aatb") in keys
+    assert StudyKey("quick", 1, "chain4") in keys
+    extra = StudyKey("quick", 7, "chain5", box="wide_box")
+    extended = study_matrix(seeds=(0,), extras=(extra,))
+    assert extended[-1] == extra
+    # Duplicates collapse, first occurrence wins the position.
+    deduped = study_matrix(seeds=(0, 0), extras=(StudyKey("quick", 0, "aatb"),))
+    assert len(deduped) == len(set(deduped))
+
+
+def _json_bytes(root: Path) -> dict:
+    store = JsonDirectoryStore(root)
+    return {key.slug: store.path_for(key).read_bytes() for key in MATRIX}
+
+
+def test_parallel_and_sequential_json_payloads_are_byte_identical(tmp_path):
+    sequential = StudyRunner(cache_dir=tmp_path / "seq", store="json", jobs=1)
+    parallel = StudyRunner(cache_dir=tmp_path / "par", store="json", jobs=2)
+    seq_report = sequential.run(MATRIX)
+    par_report = parallel.run(MATRIX)
+    assert seq_report.ok and par_report.ok
+    assert seq_report.count("computed") == len(MATRIX)
+    assert par_report.count("computed") == len(MATRIX)
+    assert _json_bytes(tmp_path / "seq") == _json_bytes(tmp_path / "par")
+
+
+def test_parallel_sqlite_matches_sequential_json_payloads(tmp_path):
+    StudyRunner(cache_dir=tmp_path / "seq", store="json", jobs=1).run(MATRIX)
+    report = StudyRunner(
+        cache_dir=tmp_path / "sq", store="sqlite", jobs=2
+    ).run(MATRIX)
+    assert report.ok
+    json_texts = {
+        slug: data.decode() for slug, data in _json_bytes(tmp_path / "seq").items()
+    }
+    with SqliteStudyStore(tmp_path / "sq") as store:
+        for key in MATRIX:
+            assert store.raw_payload(key) == json_texts[key.slug]
+
+
+def test_second_run_is_all_cache_hits_and_failures_are_contained(tmp_path):
+    runner = StudyRunner(cache_dir=tmp_path, store="sqlite", jobs=1)
+    assert runner.run(MATRIX).count("computed") == len(MATRIX)
+    rerun = runner.run(MATRIX)
+    assert rerun.count("cached") == len(MATRIX)
+    # An unknown expression fails its own study, not the run.
+    bad = runner.run((StudyKey("quick", 0, "not-an-expression"),) + MATRIX[:1])
+    assert not bad.ok
+    assert bad.outcomes[0].status == "failed"
+    assert "not-an-expression" in bad.outcomes[0].error
+    assert bad.outcomes[1].status == "cached"
+    assert "failed" in bad.summary()
+
+
+def test_run_study_respects_box_in_key(tmp_path):
+    key = StudyKey("quick", 0, "aatb", box="wide_box")
+    outcome = run_study(key, "json", str(tmp_path))
+    assert outcome.status == "computed"
+    store = JsonDirectoryStore(tmp_path)
+    loaded = store.load(key)
+    assert loaded is not None
+    # The wider box admits dims beyond the paper's 1200 cap.
+    celled = [
+        max(anomaly.instance) for anomaly in loaded["search"].anomalies
+    ]
+    assert max(celled, default=0) > 1200
+    # And it is keyed apart from the paper-box study.
+    assert store.load(StudyKey("quick", 0, "aatb")) is None
+
+
+def test_cli_runs_matrix_and_lists(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cli")
+    assert (
+        runner_main(
+            [
+                "--scale", "quick",
+                "--seeds", "0",
+                "--expressions", "aatb",
+                "--jobs", "1",
+                "--store", "sqlite",
+                "--cache-dir", cache_dir,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "computed" in out and "quick-seed0-aatb-paper_box" in out
+    assert runner_main(["--list", "--cache-dir", cache_dir]) == 0
+    listed = capsys.readouterr().out.strip().splitlines()
+    assert "quick-seed0-aatb-paper_box" in listed
+    assert "quick-seed0-chain4-paper_box" in listed
+    # Extras ride along; a failing extra makes the exit code nonzero.
+    assert (
+        runner_main(
+            [
+                "--expressions", "aatb",
+                "--extra", "quick:0:not-an-expression",
+                "--cache-dir", cache_dir,
+                "--store", "sqlite",
+            ]
+        )
+        == 1
+    )
+
+
+def test_cli_requires_a_cache_dir(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert runner_main(["--list"]) == 2
+    assert "cache-dir" in capsys.readouterr().err
