@@ -1,0 +1,35 @@
+"""Regenerates the **anomaly abundance vs search volume** figure
+(post-paper artefact) for one hand-coded and one compiler-generated
+family, across every named exploration box.
+
+Expectation (shape): both SYRK-rewrite families are abundant inside
+the paper box (several percent) and the rate *falls* as the sampled
+volume grows — the anomalous regions sit at small dims, so a larger
+box dilutes them without removing them.
+
+This bench doubles as the CI regression gate for compiler-generated
+plans: ``gram3`` exists only through the expressions IR → compiler
+pipeline, so a regression in plan generation breaks this artefact.
+"""
+
+from repro.figures import abundance
+
+EXPRESSIONS = ("aatb", "gram3")
+
+
+def test_fig_abundance_vs_volume(run_once, fig_config):
+    data = run_once(
+        lambda: abundance.generate(fig_config, expressions=EXPRESSIONS)
+    )
+    print()
+    print(abundance.render(data))
+
+    assert data.boxes == abundance.BOX_ORDER
+    assert len(data.points) == len(EXPRESSIONS) * len(abundance.BOX_ORDER)
+    for name in EXPRESSIONS:
+        points = data.for_expression(name)
+        # Abundant in the paper box (the SYRK small-dim collapse) ...
+        assert points[0].abundance > 0.04
+        # ... still present, but diluted, in the largest volume.
+        assert points[-1].n_anomalies > 0
+        assert points[-1].abundance < points[0].abundance

@@ -10,7 +10,7 @@ Layered architecture::
     kernels      KernelName + per-kernel FLOP formulas
     machine      MachineModel / NoiseModel / spec / presets
     backends     SimulatedBackend (analytic timing), RealBlasBackend
-    expressions  registry of expressions + equivalent algorithms
+    expressions  expression IR + algorithm compiler + family registry
     core         classify / searchspace / discriminants / symbolic
     profiles     kernel benchmarking + abrupt-change detection
     experiments  random_search / explore_regions / prediction

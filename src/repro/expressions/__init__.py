@@ -1,14 +1,44 @@
-"""Expression layer: computations and their equivalent algorithms."""
+"""Expression layer: computations and their equivalent algorithms.
+
+The IR (:mod:`repro.expressions.ir`) describes a computation as
+matrix leaves with properties under product/sum nodes; the compiler
+(:mod:`repro.expressions.compiler`) lowers it to kernel-call plans and
+wraps them as :class:`Algorithm` objects.  All registered families —
+the paper's ``chain<k>``/``aatb`` and the generated ``gram<k>``/
+``tri<k>``/``sum<k>`` — are built on that pipeline.
+"""
 
 from repro.expressions.base import Algorithm, Expression
 from repro.expressions.chain import ChainExpression, optimal_parenthesisation
-from repro.expressions.registry import get_expression, known_expressions, register
+from repro.expressions.compiler import CompiledExpression, Plan, compile_plans
+from repro.expressions.families import (
+    GramExpression,
+    SumOfChainsExpression,
+    TriChainExpression,
+)
+from repro.expressions.ir import Leaf, ProductExpr, SumExpr
+from repro.expressions.registry import (
+    get_expression,
+    is_known_expression,
+    known_expressions,
+    register,
+)
 
 __all__ = [
     "Algorithm",
     "ChainExpression",
+    "CompiledExpression",
     "Expression",
+    "GramExpression",
+    "Leaf",
+    "Plan",
+    "ProductExpr",
+    "SumExpr",
+    "SumOfChainsExpression",
+    "TriChainExpression",
+    "compile_plans",
     "get_expression",
+    "is_known_expression",
     "known_expressions",
     "optimal_parenthesisation",
     "register",

@@ -1,7 +1,9 @@
 """The Gram-product expression ``A Aᵀ B`` (paper §4.2).
 
 Instance dims ``(d0, d1, d2)``: ``A ∈ R^{d0×d1}``, ``B ∈ R^{d0×d2}``.
-Five equivalent algorithms (the paper's Figure 4):
+The five equivalent algorithms (the paper's Figure 4) are *generated*
+by :mod:`repro.expressions.compiler` from the three-leaf IR
+``[A, Aᵀ, B]`` with the same-operand property on the first two leaves:
 
 1. ``syrk+symm``       S = AAᵀ (triangular), X = S B exploiting symmetry
 2. ``syrk+copy+gemm``  S = AAᵀ (triangular), copy to full, X = S B
@@ -13,116 +15,41 @@ Algorithms 1/2 tie in FLOPs (the copy is FLOP-free), as do 3/4: SYRK
 halves the product FLOPs, SYMM saves none.  The FLOP-cheapest pair is
 SYRK-based — exactly the pair whose small-``d0`` efficiency collapse
 creates the paper's ~10% anomaly abundance.
+
+The tree order is pinned to the paper's presentation (left
+association before right association) so the generated names and the
+study payloads match the published artefacts exactly.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from repro.expressions.compiler import CompiledExpression, Plan
+from repro.expressions.ir import Leaf, ProductExpr
 
-import numpy as np
-
-from repro.expressions import blas
-from repro.expressions.base import Algorithm, Expression
-from repro.kernels.types import KernelCall, KernelName
-
-
-def _calls_1(d: Sequence[Any]) -> Tuple[KernelCall, ...]:
-    return (
-        KernelCall(KernelName.SYRK, (d[0], d[1])),
-        KernelCall(KernelName.SYMM, (d[0], d[2]), reads_previous=True),
-    )
+#: Figure-4 order: the ``(A Aᵀ) B`` association and its four kernel
+#: variants first, the right-to-left association last.
+_TREES = (((0, 1), 2), (0, (1, 2)))
 
 
-def _calls_2(d: Sequence[Any]) -> Tuple[KernelCall, ...]:
-    return (
-        KernelCall(KernelName.SYRK, (d[0], d[1]), note="then copy to full"),
-        KernelCall(KernelName.GEMM, (d[0], d[2], d[0]), reads_previous=True),
-    )
+def _aatb_namer(plan: Plan, ordinal: int) -> str:
+    """The paper's labels: kernel tokens, ``-right`` for tree 2."""
+    label = "+".join(plan.kernel_tokens)
+    if plan.tree_index == 1:
+        label += "-right"
+    return f"aatb-{ordinal}:{label}"
 
 
-def _calls_3(d: Sequence[Any]) -> Tuple[KernelCall, ...]:
-    return (
-        KernelCall(KernelName.GEMM, (d[0], d[0], d[1])),
-        KernelCall(KernelName.GEMM, (d[0], d[2], d[0]), reads_previous=True),
-    )
-
-
-def _calls_4(d: Sequence[Any]) -> Tuple[KernelCall, ...]:
-    return (
-        KernelCall(KernelName.GEMM, (d[0], d[0], d[1])),
-        KernelCall(KernelName.SYMM, (d[0], d[2]), reads_previous=True),
-    )
-
-
-def _calls_5(d: Sequence[Any]) -> Tuple[KernelCall, ...]:
-    return (
-        KernelCall(KernelName.GEMM, (d[1], d[2], d[0])),
-        KernelCall(KernelName.GEMM, (d[0], d[2], d[1]), reads_previous=True),
-    )
-
-
-def _run_1(ops: Sequence[np.ndarray]) -> np.ndarray:
-    a, b = ops
-    return blas.symm_lower(blas.syrk_lower(a), b)
-
-
-def _run_2(ops: Sequence[np.ndarray]) -> np.ndarray:
-    a, b = ops
-    s = blas.fill_symmetric_from_lower(blas.syrk_lower(a))
-    return blas.gemm(s, b)
-
-
-def _run_3(ops: Sequence[np.ndarray]) -> np.ndarray:
-    a, b = ops
-    return blas.gemm(blas.gemm(a, a.T), b)
-
-
-def _run_4(ops: Sequence[np.ndarray]) -> np.ndarray:
-    a, b = ops
-    return blas.symm_lower(blas.gemm(a, a.T), b)
-
-
-def _run_5(ops: Sequence[np.ndarray]) -> np.ndarray:
-    a, b = ops
-    return blas.gemm(a, blas.gemm(a.T, b))
-
-
-class AatbExpression(Expression):
-    name = "aatb"
-    n_dims = 3
-    operand_labels = "AB"
-
-    _SPECS = (
-        ("aatb-1:syrk+symm", _calls_1, _run_1),
-        ("aatb-2:syrk+copy+gemm", _calls_2, _run_2),
-        ("aatb-3:gemm+gemm", _calls_3, _run_3),
-        ("aatb-4:gemm+symm", _calls_4, _run_4),
-        ("aatb-5:gemm+gemm-right", _calls_5, _run_5),
-    )
-
+class AatbExpression(CompiledExpression):
     def __init__(self) -> None:
-        self._algorithms = tuple(
-            Algorithm(
-                name=name,
-                expression=self.name,
-                calls_builder=builder,
-                executor=runner,
-            )
-            for name, builder, runner in self._SPECS
+        super().__init__(
+            "aatb",
+            ProductExpr(
+                (
+                    Leaf(operand=0, rows=0, cols=1, label="A"),
+                    Leaf(operand=0, rows=1, cols=0, transposed=True, label="A"),
+                    Leaf(operand=1, rows=0, cols=2, label="B"),
+                )
+            ),
+            trees=_TREES,
+            namer=_aatb_namer,
         )
-
-    def algorithms(self) -> Tuple[Algorithm, ...]:
-        return self._algorithms
-
-    def make_operands(
-        self, instance: Sequence[int], rng: np.random.Generator
-    ) -> List[np.ndarray]:
-        d0, d1, d2 = instance
-        return [
-            np.asfortranarray(rng.standard_normal((d0, d1))),
-            np.asfortranarray(rng.standard_normal((d0, d2))),
-        ]
-
-    def reference(self, operands: Sequence[np.ndarray]) -> np.ndarray:
-        a, b = operands
-        return a @ a.T @ b

@@ -26,11 +26,12 @@ def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a @ b
 
 
-def syrk_lower(a: np.ndarray) -> np.ndarray:
-    """S = A Aᵀ via dsyrk; only the lower triangle is valid."""
+def syrk_lower(a: np.ndarray, trans: bool = False) -> np.ndarray:
+    """S = A Aᵀ (or Aᵀ A with ``trans``) via dsyrk; lower triangle valid."""
     if HAVE_SCIPY_BLAS:
-        return _blas.dsyrk(1.0, a, lower=1)
-    return np.tril(a @ a.T)
+        return _blas.dsyrk(1.0, a, lower=1, trans=1 if trans else 0)
+    product = a.T @ a if trans else a @ a.T
+    return np.tril(product)
 
 
 def symm_lower(s: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -1,0 +1,755 @@
+"""Algorithm compiler: lower an expression IR to kernel-call plans.
+
+The pipeline per expression (the capture→lower shape of
+torchdynamo/torchinductor, scaled to three BLAS kernels):
+
+1. **Parenthesisation enumeration** — every full binary tree over each
+   product's factors (:func:`repro.expressions.trees.enumerate_trees`),
+   or a family-supplied tree list when presentation order matters.
+2. **Common-subexpression elimination** — structurally identical
+   subproducts (same operands, same transposes) compile to one kernel
+   call whose result is reused.
+3. **Kernel-rewrite passes** — ``X·Xᵀ``/``Xᵀ·X`` products lower to
+   SYRK (with GEMM as the unrewritten variant), and products whose
+   left operand is symmetric (a SYRK output or a symmetric leaf) lower
+   to SYMM (again with GEMM as the variant).  Variant order pairs
+   symmetry-exploiting consumers with symmetry-exploiting producers
+   first — the paper's Figure 4 order.
+4. **Storage resolution** — SYRK writes a lower triangle; a consumer
+   other than SYMM's symmetric operand forces a FLOP-free copy to full
+   storage on the producer (the paper's ``syrk+copy+gemm`` variant).
+5. **Schedules** — a product root with two distinct internal children
+   admits left-first and right-first call orders (same FLOPs,
+   different inter-kernel locality), exactly the paper's chain
+   schedules.
+
+Every resulting :class:`Plan` serves three consumers from one
+structure: ``kernel_calls`` over concrete, symbolic (polynomial) or
+column-batched dims; a NumPy/BLAS executor for the real backend; and
+FLOP counts that are exact sums of the emitted calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.expressions import blas
+from repro.expressions.base import Algorithm, Expression
+from repro.expressions.ir import (
+    Leaf,
+    MatrixExpr,
+    OperandSpec,
+    ProductExpr,
+    Signature,
+    SumExpr,
+    expr_n_dims,
+    expr_terms,
+    operand_table,
+    transpose_signature,
+)
+from repro.expressions.trees import Tree, enumerate_trees
+from repro.kernels.flops import kernel_flops
+from repro.kernels.types import KernelCall, KernelName
+
+#: Copy note rendered on a SYRK call whose triangle is re-read as a
+#: full matrix by a GEMM consumer (the paper's explicit-copy variant).
+COPY_NOTE = "then copy to full"
+
+#: Note on a kernel call that folds the sum accumulation into its
+#: output write (``beta = 1``) — FLOP-free, like the copy.
+ACCUMULATE_NOTE = "accumulates into the running sum"
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """Reference to a value: a leaf factor or a prior step's output."""
+
+    kind: str  # "leaf" | "step"
+    index: int
+
+    @property
+    def is_step(self) -> bool:
+        return self.kind == "step"
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One kernel call plus the executor recipe that realises it.
+
+    ``dims`` are indices into the instance dim vector, so the same
+    step evaluates over ints, polynomials, or whole instance columns.
+    """
+
+    kernel: KernelName
+    dims: Tuple[int, ...]
+    left: ValueRef
+    right: Optional[ValueRef]
+    reads_previous: bool = False
+    copy_to_full: bool = False
+    accumulate: Optional[int] = None
+    symmetric: bool = False
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One lowered evaluation strategy for an expression."""
+
+    expression: str
+    n_dims: int
+    leaves: Tuple[Leaf, ...]
+    steps: Tuple[PlanStep, ...]
+    tree_index: int
+    tree_label: str
+    schedule: str = ""
+    n_tree_variants: int = 1
+
+    @property
+    def kernel_tokens(self) -> Tuple[str, ...]:
+        """Kernel sequence with copy steps spelled out: ``syrk+copy+gemm``."""
+        tokens: List[str] = []
+        for step in self.steps:
+            tokens.append(step.kernel.value)
+            if step.copy_to_full:
+                tokens.append("copy")
+        return tuple(tokens)
+
+    def kernel_calls(self, instance: Sequence[Any]) -> Tuple[KernelCall, ...]:
+        return tuple(
+            KernelCall(
+                step.kernel,
+                tuple(instance[i] for i in step.dims),
+                reads_previous=step.reads_previous,
+                note=step.note,
+            )
+            for step in self.steps
+        )
+
+    def flops(self, instance: Sequence[Any]) -> Any:
+        total: Any = 0
+        for step in self.steps:
+            total = total + kernel_flops(
+                step.kernel, tuple(instance[i] for i in step.dims)
+            )
+        return total
+
+    def execute(self, operands: Sequence[np.ndarray]) -> np.ndarray:
+        """Run the plan on real operands through the BLAS wrappers."""
+        values: List[Optional[np.ndarray]] = [None] * len(self.steps)
+
+        def resolve(ref: ValueRef) -> np.ndarray:
+            if ref.is_step:
+                return values[ref.index]
+            leaf = self.leaves[ref.index]
+            operand = operands[leaf.operand]
+            return operand.T if leaf.transposed else operand
+
+        for i, step in enumerate(self.steps):
+            if step.kernel is KernelName.SYRK:
+                if step.left.is_step:
+                    value = blas.syrk_lower(values[step.left.index])
+                else:
+                    leaf = self.leaves[step.left.index]
+                    value = blas.syrk_lower(
+                        operands[leaf.operand], trans=leaf.transposed
+                    )
+            elif step.kernel is KernelName.SYMM:
+                value = blas.symm_lower(resolve(step.left), resolve(step.right))
+            else:
+                value = blas.gemm(resolve(step.left), resolve(step.right))
+            if step.copy_to_full:
+                value = blas.fill_symmetric_from_lower(value)
+            if step.accumulate is not None:
+                value = values[step.accumulate] + value
+            values[i] = value
+        return values[-1]
+
+
+#: Maps a plan and its 1-based position in the algorithm list to a name.
+PlanNamer = Callable[[Plan, int], str]
+
+
+def default_plan_namer(plan: Plan, ordinal: int) -> str:
+    """``<expr>-<tree#>:<label>[/<kernels>][/<schedule>]``.
+
+    The kernel-token segment appears only when the tree admits more
+    than one kernel variant, so GEMM-only families (the chains) keep
+    their plain ``chain4-3:(AB)(CD)/left-first`` names.
+    """
+    label = plan.tree_label
+    if plan.n_tree_variants > 1:
+        label += "/" + "+".join(plan.kernel_tokens)
+    if plan.schedule:
+        label += "/" + plan.schedule
+    return f"{plan.expression}-{plan.tree_index + 1}:{label}"
+
+
+# ----------------------------------------------------------------------
+# Tree analysis: CSE node table + rewrite opportunities
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Node:
+    """One unique product in a tree/sum DAG (post-CSE)."""
+
+    signature: Signature
+    left: ValueRef
+    right: ValueRef
+    rows: int  # dim index
+    cols: int  # dim index
+    inner: int  # dim index of the contracted extent
+    syrk_pattern: bool
+    symmetric: bool
+    internal_children: int
+
+
+class _NodeTable:
+    """Unique-product table shared across the trees of one lowering."""
+
+    def __init__(self, leaves: Tuple[Leaf, ...]) -> None:
+        self.leaves = leaves
+        self.nodes: List[_Node] = []
+        self._by_signature: Dict[Signature, int] = {}
+
+    def ref_signature(self, ref: ValueRef) -> Signature:
+        if ref.is_step:
+            return self.nodes[ref.index].signature
+        return self.leaves[ref.index].signature()
+
+    def ref_shape(self, ref: ValueRef) -> Tuple[int, int]:
+        if ref.is_step:
+            node = self.nodes[ref.index]
+            return node.rows, node.cols
+        leaf = self.leaves[ref.index]
+        return leaf.rows, leaf.cols
+
+    def ref_symmetric(self, ref: ValueRef) -> bool:
+        if ref.is_step:
+            return self.nodes[ref.index].symmetric
+        return self.leaves[ref.index].symmetric
+
+    def add(self, tree: Tree, leaf_offset: int = 0) -> ValueRef:
+        """Intern a parenthesisation tree; returns the root's ref."""
+        if isinstance(tree, int):
+            return ValueRef("leaf", tree + leaf_offset)
+        left = self.add(tree[0], leaf_offset)
+        right = self.add(tree[1], leaf_offset)
+        signature = ("prod", self.ref_signature(left), self.ref_signature(right))
+        existing = self._by_signature.get(signature)
+        if existing is not None:
+            return ValueRef("step", existing)
+        l_rows, l_cols = self.ref_shape(left)
+        r_rows, r_cols = self.ref_shape(right)
+        if l_cols != r_rows:
+            raise ValueError(
+                f"tree does not chain: inner dims {l_cols} vs {r_rows}"
+            )
+        syrk_pattern = self.ref_signature(right) == transpose_signature(
+            self.ref_signature(left)
+        )
+        node = _Node(
+            signature=signature,
+            left=left,
+            right=right,
+            rows=l_rows,
+            cols=r_cols,
+            inner=l_cols,
+            syrk_pattern=syrk_pattern,
+            symmetric=syrk_pattern,
+            internal_children=int(left.is_step) + int(right.is_step),
+        )
+        self._by_signature[signature] = len(self.nodes)
+        self.nodes.append(node)
+        return ValueRef("step", len(self.nodes) - 1)
+
+
+def _kernel_choices(
+    table: _NodeTable, node: _Node, chosen: Dict[int, KernelName]
+) -> Tuple[KernelName, ...]:
+    """Kernel options for one product node, in canonical variant order.
+
+    SYRK-pattern products offer [SYRK, GEMM].  Products with a
+    symmetric left operand offer SYMM and GEMM, symmetry-exploiting
+    pairing first: [SYMM, GEMM] after a SYRK producer or a symmetric
+    leaf, [GEMM, SYMM] after a GEMM producer (Figure 4's order).
+    """
+    if node.syrk_pattern:
+        return (KernelName.SYRK, KernelName.GEMM)
+    if table.ref_symmetric(node.left):
+        if node.left.is_step:
+            producer_exploits = (
+                chosen[node.left.index] is KernelName.SYRK
+            )
+        else:
+            producer_exploits = True  # symmetric leaf
+        if producer_exploits:
+            return (KernelName.SYMM, KernelName.GEMM)
+        return (KernelName.GEMM, KernelName.SYMM)
+    return (KernelName.GEMM,)
+
+
+def _enumerate_variants(
+    table: _NodeTable, node_order: List[int]
+) -> List[Dict[int, KernelName]]:
+    """All kernel assignments over ``node_order``, canonical order."""
+    variants: List[Dict[int, KernelName]] = []
+
+    def expand(position: int, chosen: Dict[int, KernelName]) -> None:
+        if position == len(node_order):
+            variants.append(dict(chosen))
+            return
+        index = node_order[position]
+        for kernel in _kernel_choices(table, table.nodes[index], chosen):
+            chosen[index] = kernel
+            expand(position + 1, chosen)
+            del chosen[index]
+
+    expand(0, {})
+    return variants
+
+
+# ----------------------------------------------------------------------
+# Lowering: node table + kernel assignment + schedule → steps
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _MutableStep:
+    kernel: KernelName
+    dims: Tuple[int, ...]
+    left: ValueRef
+    right: Optional[ValueRef]
+    copy_to_full: bool = False
+    accumulate: Optional[int] = None
+    symmetric: bool = False
+    produces_triangle: bool = False
+    consumed: List[ValueRef] = field(default_factory=list)
+
+
+class _Lowering:
+    """Emits steps for trees sharing one node table (and its CSE)."""
+
+    def __init__(self, table: _NodeTable) -> None:
+        self.table = table
+        self.steps: List[_MutableStep] = []
+        self._step_of_node: Dict[int, int] = {}
+
+    def _require_full(self, ref: ValueRef) -> None:
+        """Force full storage on a triangular producer (FLOP-free copy)."""
+        if ref.is_step:
+            producer = self.steps[ref.index]
+            if producer.produces_triangle:
+                producer.copy_to_full = True
+                producer.produces_triangle = False
+
+    def emit_tree(
+        self,
+        root: ValueRef,
+        kernels: Dict[int, KernelName],
+        right_first_root: bool = False,
+    ) -> Optional[int]:
+        """Emit one tree's calls; returns the root's step index.
+
+        Returns None when the root is a leaf reference (no calls) or
+        was already emitted by an earlier tree (full-tree CSE).
+        """
+
+        def visit(ref: ValueRef, swap: bool) -> None:
+            if not ref.is_step or ref.index in self._step_of_node:
+                return
+            node = self.table.nodes[ref.index]
+            if kernels[ref.index] is KernelName.SYRK:
+                # SYRK reads only X of X·Xᵀ — the right subtree is
+                # dead code and is never computed.
+                visit(node.left, False)
+            elif swap:
+                visit(node.right, False)
+                visit(node.left, False)
+            else:
+                visit(node.left, False)
+                visit(node.right, False)
+            self._emit_node(ref.index, kernels[ref.index])
+
+        already = root.is_step and root.index in self._step_of_node
+        visit(root, right_first_root)
+        if not root.is_step or already:
+            return None
+        return self._step_of_node[root.index]
+
+    def _resolve(self, ref: ValueRef) -> ValueRef:
+        """Node-space ref → step-space ref (leaves pass through)."""
+        if ref.is_step:
+            return ValueRef("step", self._step_of_node[ref.index])
+        return ref
+
+    def _emit_node(self, node_index: int, kernel: KernelName) -> None:
+        node = self.table.nodes[node_index]
+        left = self._resolve(node.left)
+        # The right operand of a SYRK node is dead code (same data as
+        # the left) and may never have been emitted — resolve lazily.
+        if kernel is KernelName.SYRK:
+            # Result = X·Xᵀ over the left value; the right operand is
+            # the same data and is not read separately.
+            step = _MutableStep(
+                kernel=kernel,
+                dims=(node.rows, node.inner),
+                left=left,
+                right=None,
+                symmetric=True,
+                produces_triangle=True,
+                consumed=[left],
+            )
+            self._require_full(left)
+        elif kernel is KernelName.SYMM:
+            # Symmetric left operand; SYMM reads its lower triangle,
+            # so a triangular producer needs no copy.
+            right = self._resolve(node.right)
+            step = _MutableStep(
+                kernel=kernel,
+                dims=(node.rows, node.cols),
+                left=left,
+                right=right,
+                symmetric=node.symmetric,
+                consumed=[left, right],
+            )
+            self._require_full(right)
+        else:
+            right = self._resolve(node.right)
+            step = _MutableStep(
+                kernel=kernel,
+                dims=(node.rows, node.cols, node.inner),
+                left=left,
+                right=right,
+                symmetric=node.symmetric,
+                consumed=[left, right],
+            )
+            self._require_full(left)
+            self._require_full(right)
+        self.steps.append(step)
+        self._step_of_node[node_index] = len(self.steps) - 1
+
+    def accumulate_into(self, step_index: int, target: int) -> None:
+        step = self.steps[step_index]
+        # Accumulation adds full matrices; a triangular term result
+        # must be copied out first.
+        self._require_full(ValueRef("step", target))
+        self._require_full(ValueRef("step", step_index))
+        step.accumulate = target
+        step.consumed.append(ValueRef("step", target))
+
+    def freeze(self) -> Tuple[PlanStep, ...]:
+        # The expression's *result* is a full matrix; a triangular
+        # root (SYRK) ends with the FLOP-free copy, like any other
+        # full-storage consumer.
+        if self.steps:
+            self._require_full(ValueRef("step", len(self.steps) - 1))
+        frozen: List[PlanStep] = []
+        for i, step in enumerate(self.steps):
+            reads_previous = any(
+                ref.is_step and ref.index == i - 1 for ref in step.consumed
+            )
+            note = ""
+            if step.copy_to_full:
+                note = COPY_NOTE
+            elif step.accumulate is not None:
+                note = ACCUMULATE_NOTE
+            frozen.append(
+                PlanStep(
+                    kernel=step.kernel,
+                    dims=step.dims,
+                    left=step.left,
+                    right=step.right,
+                    reads_previous=reads_previous,
+                    copy_to_full=step.copy_to_full,
+                    accumulate=step.accumulate,
+                    symmetric=step.symmetric,
+                    note=note,
+                )
+            )
+        return tuple(frozen)
+
+
+# ----------------------------------------------------------------------
+# Compilation entry points
+# ----------------------------------------------------------------------
+
+
+def _tree_label(leaves: Tuple[Leaf, ...], tree: Tree, offset: int = 0) -> str:
+    def render(node: Tree, top: bool) -> str:
+        if isinstance(node, int):
+            return leaves[node + offset].render()
+        inner = render(node[0], False) + render(node[1], False)
+        return inner if top else f"({inner})"
+
+    return render(tree, True)
+
+
+def _root_schedules(
+    table: _NodeTable, root: ValueRef
+) -> Tuple[Tuple[str, bool], ...]:
+    """Chain-style schedules: two orders for a two-internal-child root.
+
+    When CSE makes both children the same subproduct, the orders
+    collapse to one call sequence, so only one schedule is emitted.
+    """
+    node = table.nodes[root.index]
+    if node.internal_children == 2 and (
+        table.ref_signature(node.left) != table.ref_signature(node.right)
+    ):
+        return (("left-first", False), ("right-first", True))
+    return (("", False),)
+
+
+def compile_product_plans(
+    expression_name: str,
+    product: ProductExpr,
+    trees: Optional[Sequence[Tree]] = None,
+) -> List[Plan]:
+    """Lower one product to plans: trees × kernel variants × schedules."""
+    leaves = product.factors
+    n_dims = expr_n_dims(product)
+    if trees is None:
+        trees = enumerate_trees(len(leaves))
+    plans: List[Plan] = []
+    for tree_index, tree in enumerate(trees):
+        probe = _NodeTable(leaves)
+        root = probe.add(tree)
+        node_order = [
+            i for i in range(len(probe.nodes))
+        ]  # post-order = interning order
+        label = _tree_label(leaves, tree)
+
+        def lower(kernels, right_first: bool) -> Tuple[PlanStep, ...]:
+            table = _NodeTable(leaves)
+            lowering = _Lowering(table)
+            lowering.emit_tree(table.add(tree), kernels, right_first)
+            return lowering.freeze()
+
+        # Variants differing only in a dead (SYRK-elided) subtree
+        # lower to identical calls — keep the first of each class,
+        # along with its already-lowered left-first steps.
+        variants: List[Tuple[Dict[int, KernelName], Tuple[PlanStep, ...]]] = []
+        seen_steps: set = set()
+        for kernels in _enumerate_variants(probe, node_order):
+            steps = lower(kernels, False)
+            if steps not in seen_steps:
+                seen_steps.add(steps)
+                variants.append((kernels, steps))
+        for kernels, left_first_steps in variants:
+            scheduled = [
+                (
+                    schedule,
+                    left_first_steps
+                    if not right_first
+                    else lower(kernels, right_first),
+                )
+                for schedule, right_first in _root_schedules(probe, root)
+            ]
+            if len(scheduled) > 1 and all(
+                steps == scheduled[0][1] for _, steps in scheduled[1:]
+            ):
+                # Dead-code elimination (a SYRK root) can leave both
+                # orders with the same calls — one schedule, no suffix.
+                scheduled = [("", scheduled[0][1])]
+            for schedule, steps in scheduled:
+                plans.append(
+                    Plan(
+                        expression=expression_name,
+                        n_dims=n_dims,
+                        leaves=leaves,
+                        steps=steps,
+                        tree_index=tree_index,
+                        tree_label=label,
+                        schedule=schedule,
+                        n_tree_variants=len(variants),
+                    )
+                )
+    return plans
+
+
+def compile_sum_plans(
+    expression_name: str,
+    sum_expr: SumExpr,
+    trees_per_term: Optional[Sequence[Sequence[Tree]]] = None,
+) -> List[Plan]:
+    """Lower a sum: per-term tree combinations, accumulation folded.
+
+    Terms are lowered in order into one shared node table, so a
+    subproduct repeated across terms compiles once.  Each term's root
+    call after the first accumulates into the running sum (FLOP-free,
+    like the paper's copy).  Kernel variants are enumerated over the
+    union of the combination's unique nodes.
+    """
+    terms = sum_expr.terms
+    leaves = tuple(leaf for term in terms for leaf in term.factors)
+    n_dims = expr_n_dims(sum_expr)
+    offsets = list(
+        itertools.accumulate([0] + [len(t.factors) for t in terms[:-1]])
+    )
+    if trees_per_term is None:
+        trees_per_term = [enumerate_trees(len(t.factors)) for t in terms]
+    plans: List[Plan] = []
+    for combo_index, combo in enumerate(itertools.product(*trees_per_term)):
+        probe = _NodeTable(leaves)
+        roots = [
+            probe.add(tree, offsets[t]) for t, tree in enumerate(combo)
+        ]
+        for t, root in enumerate(roots):
+            if not root.is_step:
+                raise ValueError(
+                    f"sum term {t} of {expression_name} lowers to no "
+                    "kernel call; the accumulation has nothing to fold "
+                    "into"
+                )
+        if len({root.index for root in roots}) != len(roots):
+            raise ValueError(
+                f"sum terms of {expression_name} must be distinct "
+                "subexpressions"
+            )
+        label = "+".join(
+            _tree_label(leaves, tree, offsets[t])
+            for t, tree in enumerate(combo)
+        )
+
+        def lower(kernels) -> Tuple[PlanStep, ...]:
+            table = _NodeTable(leaves)
+            lowering = _Lowering(table)
+            previous: Optional[int] = None
+            for t, tree in enumerate(combo):
+                step_index = lowering.emit_tree(
+                    table.add(tree, offsets[t]), kernels
+                )
+                if step_index is None:
+                    raise ValueError(
+                        f"sum term {t} of {expression_name} is a "
+                        "subexpression of an earlier term; the "
+                        "accumulation has no call to fold into"
+                    )
+                if previous is not None:
+                    lowering.accumulate_into(step_index, previous)
+                previous = step_index
+            return lowering.freeze()
+
+        # Same dead-variant dedupe as the product path.
+        lowered: List[Tuple[PlanStep, ...]] = []
+        seen_steps: set = set()
+        for kernels in _enumerate_variants(
+            probe, list(range(len(probe.nodes)))
+        ):
+            steps = lower(kernels)
+            if steps not in seen_steps:
+                seen_steps.add(steps)
+                lowered.append(steps)
+        for steps in lowered:
+            plans.append(
+                Plan(
+                    expression=expression_name,
+                    n_dims=n_dims,
+                    leaves=leaves,
+                    steps=steps,
+                    tree_index=combo_index,
+                    tree_label=label,
+                    n_tree_variants=len(lowered),
+                )
+            )
+    return plans
+
+
+def compile_plans(
+    expression_name: str,
+    expr: MatrixExpr,
+    trees: Optional[Sequence] = None,
+) -> List[Plan]:
+    if isinstance(expr, ProductExpr):
+        return compile_product_plans(expression_name, expr, trees)
+    return compile_sum_plans(expression_name, expr, trees)
+
+
+# ----------------------------------------------------------------------
+# Expression base class over compiled plans
+# ----------------------------------------------------------------------
+
+
+class CompiledExpression(Expression):
+    """An Expression whose algorithms are generated by the compiler.
+
+    Subclasses (or callers) provide the IR, optionally a tree order
+    and a plan namer; ``make_operands`` and ``reference`` are derived
+    from the IR, so a new family is one IR description away.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        expr: MatrixExpr,
+        trees: Optional[Sequence] = None,
+        namer: Optional[PlanNamer] = None,
+    ) -> None:
+        self.name = name
+        self.ir = expr
+        self.n_dims = expr_n_dims(expr)
+        self.operands: Tuple[OperandSpec, ...] = operand_table(expr)
+        self.operand_labels = "".join(spec.label for spec in self.operands)
+        namer = namer or default_plan_namer
+        self._plans = tuple(compile_plans(name, expr, trees))
+        self._algorithms = tuple(
+            Algorithm(
+                name=namer(plan, ordinal),
+                expression=name,
+                calls_builder=plan.kernel_calls,
+                executor=plan.execute,
+            )
+            for ordinal, plan in enumerate(self._plans, 1)
+        )
+
+    def plans(self) -> Tuple[Plan, ...]:
+        return self._plans
+
+    def algorithms(self) -> Tuple[Algorithm, ...]:
+        return self._algorithms
+
+    def make_operands(
+        self, instance: Sequence[int], rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        if len(instance) != self.n_dims:
+            raise ValueError(
+                f"{self.name} takes {self.n_dims} dims, got {instance!r}"
+            )
+        out: List[np.ndarray] = []
+        for spec in self.operands:
+            shape = (instance[spec.rows], instance[spec.cols])
+            matrix = rng.standard_normal(shape)
+            if spec.symmetric:
+                matrix = matrix + matrix.T
+            out.append(np.asfortranarray(matrix))
+        return out
+
+    def reference(self, operands: Sequence[np.ndarray]) -> np.ndarray:
+        def factor_value(leaf: Leaf) -> np.ndarray:
+            operand = operands[leaf.operand]
+            return operand.T if leaf.transposed else operand
+
+        def term_value(term: ProductExpr) -> np.ndarray:
+            value = factor_value(term.factors[0])
+            for leaf in term.factors[1:]:
+                value = value @ factor_value(leaf)
+            return value
+
+        terms = expr_terms(self.ir)
+        total = term_value(terms[0])
+        for term in terms[1:]:
+            total = total + term_value(term)
+        return total

@@ -1,0 +1,92 @@
+"""Compiler-defined expression families beyond the paper's two.
+
+Each family is a thin IR description — the compiler generates the
+algorithms, executors and FLOP polynomials.  They extend the paper's
+scenario axes:
+
+* :class:`GramExpression` (``gram<k>``): ``Aᵀ A B₁ ⋯ B_{k-2}`` — the
+  transposed sibling of ``A Aᵀ B``.  Trees that keep ``Aᵀ`` and ``A``
+  adjacent admit the SYRK/SYMM rewrites, so the FLOP-cheapest plans
+  are the symmetry-exploiting ones with the same small-dim efficiency
+  collapse that drives the paper's anomalies.
+* :class:`TriChainExpression` (``tri<k>``): a ``k``-matrix chain whose
+  odd factors are stored transposed (``A Bᵀ C Dᵀ ⋯``).  GEMM-only,
+  chain-like anomaly structure, but distinct operand layouts and
+  executors.
+* :class:`SumOfChainsExpression` (``sum<k>``): the two-term sum of two
+  ``k``-chains, ``A⋯ + ⋯``; the second term's root call folds the
+  accumulation into its output write (FLOP-free).  For ``k ≥ 3`` each
+  term's association is free, so plans differ in FLOPs and the family
+  is anomaly-bearing; ``sum2`` (``AB + CD``) is the degenerate
+  all-plans-tie case.
+"""
+
+from __future__ import annotations
+
+from repro.expressions.compiler import CompiledExpression
+from repro.expressions.ir import Leaf, ProductExpr, SumExpr, chain_leaves
+
+_LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+class GramExpression(CompiledExpression):
+    """``gram<k>``: Aᵀ A B₁ ⋯ B_{k-2} over dims (d0, ..., d_{k-1}).
+
+    ``A ∈ R^{d0×d1}``; the Gram matrix ``AᵀA`` is ``d1×d1`` and the
+    trailing chain runs over boundaries ``d1, d2, ..., d_{k-1}``.
+    """
+
+    def __init__(self, n_factors: int = 3) -> None:
+        if n_factors < 3:
+            raise ValueError("gram needs at least three factors (Aᵀ A B)")
+        self.n_factors = n_factors
+        factors = (
+            Leaf(operand=0, rows=1, cols=0, transposed=True, label="A"),
+            Leaf(operand=0, rows=0, cols=1, label="A"),
+        ) + tuple(
+            Leaf(
+                operand=i - 1,
+                rows=i - 1,
+                cols=i,
+                label=_LABELS[i - 1],
+            )
+            for i in range(2, n_factors)
+        )
+        super().__init__(f"gram{n_factors}", ProductExpr(factors))
+
+
+class TriChainExpression(CompiledExpression):
+    """``tri<k>``: a chain with every odd factor stored transposed."""
+
+    def __init__(self, n_matrices: int = 4) -> None:
+        if n_matrices < 2:
+            raise ValueError("a chain needs at least two matrices")
+        self.n_matrices = n_matrices
+        super().__init__(
+            f"tri{n_matrices}",
+            ProductExpr(
+                chain_leaves(
+                    list(range(n_matrices + 1)),
+                    transposed=range(1, n_matrices, 2),
+                )
+            ),
+        )
+
+
+class SumOfChainsExpression(CompiledExpression):
+    """``sum<k>``: the two-term sum of two ``k``-chains."""
+
+    def __init__(self, n_matrices: int = 3) -> None:
+        if n_matrices < 2:
+            raise ValueError("sum terms need at least two matrices each")
+        self.n_matrices = n_matrices
+        k = n_matrices
+        first = chain_leaves(list(range(k + 1)))
+        # The second term shares the outer dims (the results must be
+        # conformable) and brings its own k-1 inner dims.
+        boundaries = [0] + list(range(k + 1, 2 * k)) + [k]
+        second = chain_leaves(boundaries, first_operand=k)
+        super().__init__(
+            f"sum{n_matrices}",
+            SumExpr((ProductExpr(first), ProductExpr(second))),
+        )

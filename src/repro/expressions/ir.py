@@ -1,0 +1,215 @@
+"""Expression IR: matrix leaves with properties, product/sum nodes.
+
+The IR describes *what* to compute; :mod:`repro.expressions.compiler`
+decides *how*, by enumerating parenthesisations and kernel rewrites.
+The split mirrors the capture/lower shape of torchdynamo-style
+compilers: a small declarative graph in, kernel-call plans out.
+
+A :class:`Leaf` is one factor of a product — a (possibly transposed)
+view of a stored operand.  Several leaves may reference the same
+operand (the *same-operand* property, e.g. ``A`` and ``Aᵀ`` in
+``A Aᵀ B``), which is what the compiler's SYRK and common-subexpression
+rewrites key on.  A leaf may also mark its operand *symmetric*, which
+unlocks the SYMM rewrite without a SYRK producer.
+
+Shapes are expressed as indices into the expression's instance dim
+vector, never as concrete sizes: the same IR serves numeric
+evaluation, the simulated machine and the symbolic (polynomial) FLOP
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+#: Structural signature of a value (leaf or product) — the unit of
+#: common-subexpression detection and of the SYRK ``X·Xᵀ`` pattern.
+Signature = Tuple
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """One factor: a (possibly transposed) view of a stored operand.
+
+    ``rows``/``cols`` are dim-vector indices of the *factor* shape; the
+    stored operand has shape ``(cols, rows)`` when ``transposed``.
+    """
+
+    operand: int
+    rows: int
+    cols: int
+    transposed: bool = False
+    symmetric: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.operand < 0 or self.rows < 0 or self.cols < 0:
+            raise ValueError("operand and dim indices must be non-negative")
+        if self.symmetric and self.rows != self.cols:
+            raise ValueError(
+                f"symmetric leaf {self.label or self.operand} must be "
+                f"square, got dims ({self.rows}, {self.cols})"
+            )
+
+    @property
+    def stored_rows(self) -> int:
+        return self.cols if self.transposed else self.rows
+
+    @property
+    def stored_cols(self) -> int:
+        return self.rows if self.transposed else self.cols
+
+    def signature(self) -> Signature:
+        # A symmetric operand equals its own transpose; canonicalising
+        # the flag makes S and Sᵀ the same value to the compiler.
+        transposed = self.transposed and not self.symmetric
+        return ("leaf", self.operand, transposed)
+
+    def render(self) -> str:
+        label = self.label or "ABCDEFGHIJKLMNOPQRSTUVWXYZ"[self.operand]
+        return f"{label}'" if self.transposed else label
+
+
+@dataclass(frozen=True)
+class ProductExpr:
+    """A flat product of factors; the compiler enumerates its trees."""
+
+    factors: Tuple[Leaf, ...]
+
+    def __init__(self, factors) -> None:
+        factors = tuple(factors)
+        if len(factors) < 2:
+            raise ValueError("a product needs at least two factors")
+        for left, right in zip(factors, factors[1:]):
+            if left.cols != right.rows:
+                raise ValueError(
+                    f"factor dims do not chain: {left.render()} has col "
+                    f"dim {left.cols}, {right.render()} has row dim "
+                    f"{right.rows}"
+                )
+        object.__setattr__(self, "factors", factors)
+
+    @property
+    def rows(self) -> int:
+        return self.factors[0].rows
+
+    @property
+    def cols(self) -> int:
+        return self.factors[-1].cols
+
+
+@dataclass(frozen=True)
+class SumExpr:
+    """A sum of products, all with the same result shape."""
+
+    terms: Tuple[ProductExpr, ...]
+
+    def __init__(self, terms) -> None:
+        terms = tuple(terms)
+        if len(terms) < 2:
+            raise ValueError("a sum needs at least two terms")
+        rows, cols = terms[0].rows, terms[0].cols
+        for term in terms[1:]:
+            if (term.rows, term.cols) != (rows, cols):
+                raise ValueError(
+                    "sum terms must share a result shape: "
+                    f"({rows}, {cols}) vs ({term.rows}, {term.cols})"
+                )
+        object.__setattr__(self, "terms", terms)
+
+
+MatrixExpr = Union[ProductExpr, SumExpr]
+
+
+def expr_terms(expr: MatrixExpr) -> Tuple[ProductExpr, ...]:
+    """The expression as a tuple of product terms (one for products)."""
+    if isinstance(expr, ProductExpr):
+        return (expr,)
+    if isinstance(expr, SumExpr):
+        return expr.terms
+    raise TypeError(f"not a matrix expression: {expr!r}")
+
+
+def all_leaves(expr: MatrixExpr) -> Tuple[Leaf, ...]:
+    """Every factor of every term, flattened in term order."""
+    return tuple(
+        leaf for term in expr_terms(expr) for leaf in term.factors
+    )
+
+
+def expr_n_dims(expr: MatrixExpr) -> int:
+    """Size of the instance dim vector the expression ranges over."""
+    return 1 + max(
+        index for leaf in all_leaves(expr) for index in (leaf.rows, leaf.cols)
+    )
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """Stored shape and properties of one operand, derived from leaves."""
+
+    index: int
+    rows: int
+    cols: int
+    symmetric: bool
+    label: str
+
+
+def operand_table(expr: MatrixExpr) -> Tuple[OperandSpec, ...]:
+    """One spec per operand; validates that shared leaves agree."""
+    specs: Dict[int, OperandSpec] = {}
+    for leaf in all_leaves(expr):
+        spec = OperandSpec(
+            index=leaf.operand,
+            rows=leaf.stored_rows,
+            cols=leaf.stored_cols,
+            symmetric=leaf.symmetric,
+            label=leaf.label or leaf.render().rstrip("'"),
+        )
+        existing = specs.get(leaf.operand)
+        if existing is None:
+            specs[leaf.operand] = spec
+        elif existing != spec:
+            raise ValueError(
+                f"leaves of operand {leaf.operand} disagree on its "
+                f"stored shape or properties: {existing} vs {spec}"
+            )
+    indices = sorted(specs)
+    if indices != list(range(len(indices))):
+        raise ValueError(f"operand indices must be 0..n-1, got {indices}")
+    return tuple(specs[i] for i in indices)
+
+
+def transpose_signature(signature: Signature) -> Signature:
+    """Signature of a value's transpose: ``(XY)ᵀ = Yᵀ Xᵀ``."""
+    if signature[0] == "leaf":
+        kind, operand, transposed = signature
+        return (kind, operand, not transposed)
+    kind, left, right = signature
+    return (kind, transpose_signature(right), transpose_signature(left))
+
+
+def chain_leaves(
+    boundaries: List[int],
+    labels: str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    first_operand: int = 0,
+    transposed=(),
+) -> Tuple[Leaf, ...]:
+    """Distinct-operand chain factors over consecutive boundary dims.
+
+    ``boundaries`` holds ``n+1`` dim indices; factor ``i`` spans
+    ``boundaries[i] × boundaries[i+1]`` and is stored transposed when
+    ``i`` is in ``transposed``.
+    """
+    transposed = set(transposed)
+    return tuple(
+        Leaf(
+            operand=first_operand + i,
+            rows=boundaries[i],
+            cols=boundaries[i + 1],
+            transposed=i in transposed,
+            label=labels[first_operand + i],
+        )
+        for i in range(len(boundaries) - 1)
+    )

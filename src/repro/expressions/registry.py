@@ -1,20 +1,43 @@
 """Expression registry: name → Expression instance.
 
-``chain<k>`` names are materialised on demand (``chain4`` is the
-paper's chain); custom expressions can be registered by plugins.
+Besides explicitly registered expressions, four parametric families
+materialise on demand from their name pattern:
+
+* ``chain<k>`` — k-matrix chain (``chain4`` is the paper's chain);
+* ``gram<k>``  — ``Aᵀ A B₁ ⋯`` over k factors (3 ≤ k ≤ 8);
+* ``tri<k>``   — chain with odd factors stored transposed (k ≤ 8);
+* ``sum<k>``   — two-term sum of two k-chains (k ≤ 5; plan count is
+  quadratic in the per-term Catalan number, hence the tighter cap).
+
+:func:`is_known_expression` answers the membership question *without*
+materialising anything — callers validating user input (the runner
+CLI) stay cheap even for large ``k``.  Custom expressions can still be
+registered by plugins via :func:`register`.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.expressions.aatb import AatbExpression
 from repro.expressions.base import Expression
 from repro.expressions.chain import ChainExpression
+from repro.expressions.families import (
+    GramExpression,
+    SumOfChainsExpression,
+    TriChainExpression,
+)
 
 _REGISTRY: Dict[str, Expression] = {}
-_CHAIN_PATTERN = re.compile(r"^chain(\d+)$")
+
+#: name prefix → (pattern, min k, max k, factory).
+_PATTERNS: Tuple[Tuple[str, re.Pattern, int, int, Callable], ...] = (
+    ("chain", re.compile(r"^chain(\d+)$"), 2, 8, ChainExpression),
+    ("gram", re.compile(r"^gram(\d+)$"), 3, 8, GramExpression),
+    ("tri", re.compile(r"^tri(\d+)$"), 2, 8, TriChainExpression),
+    ("sum", re.compile(r"^sum(\d+)$"), 2, 5, SumOfChainsExpression),
+)
 
 
 def register(expression: Expression) -> Expression:
@@ -26,21 +49,50 @@ def register(expression: Expression) -> Expression:
 
 register(AatbExpression())
 register(ChainExpression(4))
+register(GramExpression(3))
+register(TriChainExpression(4))
+register(SumOfChainsExpression(3))
 
 
 def known_expressions() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def _match_pattern(name: str):
+    for _prefix, pattern, lo, hi, factory in _PATTERNS:
+        match = pattern.match(name)
+        if match:
+            k = int(match.group(1))
+            if lo <= k <= hi:
+                return factory, k
+    return None
+
+
+def is_known_expression(name: str) -> bool:
+    """Whether ``get_expression(name)`` would succeed — no materialising."""
+    return name in _REGISTRY or _match_pattern(name) is not None
+
+
+def expression_name_help() -> str:
+    """The valid-name summary used by usage errors."""
+    patterns = ", ".join(
+        f"{prefix}<k> (k={lo}..{hi})"
+        for prefix, _pattern, lo, hi, _factory in _PATTERNS
+    )
+    return (
+        f"registered: {', '.join(known_expressions())}; "
+        f"patterns: {patterns}"
+    )
+
+
 def get_expression(name: str) -> Expression:
-    """Look up an expression; ``chain<k>`` is created lazily."""
+    """Look up an expression; pattern families are created lazily."""
     if name in _REGISTRY:
         return _REGISTRY[name]
-    match = _CHAIN_PATTERN.match(name)
-    if match:
-        n_matrices = int(match.group(1))
-        if n_matrices >= 2:
-            return register(ChainExpression(n_matrices))
+    matched = _match_pattern(name)
+    if matched is not None:
+        factory, k = matched
+        return register(factory(k))
     raise KeyError(
-        f"unknown expression {name!r}; known: {', '.join(known_expressions())}"
+        f"unknown expression {name!r}; {expression_name_help()}"
     )

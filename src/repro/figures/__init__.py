@@ -1,9 +1,11 @@
 """Figures layer: regenerators for the paper's artefacts.
 
 One module per artefact: ``fig1``, ``fig6`` … ``fig11``, ``table1``,
-``table2``.  Each exposes ``generate(config) -> data`` and
-``render(data) -> str`` (ASCII rendering — artefacts print in any
-terminal/CI log).  Experiment pipelines are shared through
+``table2``, plus the post-paper ``abundance`` figure (anomaly rate vs
+search volume across the named boxes).  Each exposes
+``generate(config) -> data`` and ``render(data) -> str`` (ASCII
+rendering — artefacts print in any terminal/CI log).  Experiment
+pipelines are shared through
 :func:`repro.figures.common.study_for`'s process-level cache.
 """
 

@@ -1,0 +1,58 @@
+"""Anomaly-abundance-vs-search-volume figure (ISSUE 4 satellite)."""
+
+import numpy as np
+
+from repro.figures import abundance
+from repro.figures.common import FigureConfig, clear_study_cache
+
+
+def test_generate_covers_expressions_times_boxes():
+    clear_study_cache()
+    try:
+        config = FigureConfig(scale="quick", seed=0)
+        data = abundance.generate(config, expressions=("aatb", "gram3"))
+    finally:
+        clear_study_cache()
+    assert data.boxes == ("paper_box", "wide_box", "huge_box")
+    assert len(data.points) == 6
+    for name in ("aatb", "gram3"):
+        points = data.for_expression(name)
+        assert [p.box for p in points] == list(abundance.BOX_ORDER)
+        # The anomalous regions sit at small dims: the paper box is
+        # the densest, and every box still finds anomalies.
+        assert all(p.n_anomalies > 0 for p in points)
+        assert points[0].abundance > points[-1].abundance
+        # Volumes grow monotonically along the box order.
+        volumes = [p.log10_volume for p in points]
+        assert volumes == sorted(volumes)
+    assert np.isclose(
+        data.for_expression("aatb")[0].abundance,
+        data.for_expression("aatb")[0].n_anomalies
+        / data.for_expression("aatb")[0].n_samples,
+    )
+
+
+def test_render_lists_every_point():
+    clear_study_cache()
+    try:
+        config = FigureConfig(scale="quick", seed=0)
+        data = abundance.generate(config, expressions=("aatb",))
+    finally:
+        clear_study_cache()
+    text = abundance.render(data)
+    assert "Anomaly abundance vs search volume" in text
+    for box in abundance.BOX_ORDER:
+        assert box in text
+    assert "#" in text  # bars render
+
+
+def test_point_from_search_uses_named_box_span():
+    from repro.experiments.random_search import SearchResult
+
+    search = SearchResult(
+        expression="aatb", threshold=0.1, anomalies=(), n_samples=50
+    )
+    point = abundance.point_from_search("aatb", "wide_box", search)
+    assert point.span == 2 * 1200 - 20 + 1
+    assert point.n_dims == 3
+    assert point.abundance == 0.0

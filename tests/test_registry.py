@@ -1,12 +1,16 @@
-"""Expression registry round-trip (ISSUE 1 spec)."""
+"""Expression registry round-trip (ISSUE 1 spec, extended by ISSUE 4)."""
 
 import pytest
 
-from repro.expressions.registry import get_expression, known_expressions
+from repro.expressions.registry import (
+    get_expression,
+    is_known_expression,
+    known_expressions,
+)
 
 
 def test_round_trip_known_names():
-    for name in ("chain4", "aatb"):
+    for name in ("chain4", "aatb", "gram3", "tri4", "sum3"):
         expression = get_expression(name)
         assert expression.name == name
         assert expression.algorithms()
@@ -16,6 +20,9 @@ def test_round_trip_known_names():
 def test_expected_dimensionalities():
     assert get_expression("chain4").n_dims == 5
     assert get_expression("aatb").n_dims == 3
+    assert get_expression("gram3").n_dims == 3
+    assert get_expression("tri4").n_dims == 5
+    assert get_expression("sum3").n_dims == 6
 
 
 def test_unknown_name_raises_with_known_list():
@@ -37,7 +44,34 @@ def test_chain_names_materialise_on_demand():
 
 
 def test_algorithm_names_are_unique_per_expression():
-    for name in ("chain4", "aatb", "chain5"):
+    for name in ("chain4", "aatb", "chain5", "gram4", "tri5", "sum2"):
         algorithms = get_expression(name).algorithms()
         names = [a.name for a in algorithms]
         assert len(names) == len(set(names))
+
+
+def test_pattern_families_materialise_on_demand():
+    gram4 = get_expression("gram4")
+    assert gram4.n_dims == 4
+    assert "gram4" in known_expressions()
+    tri2 = get_expression("tri2")
+    assert len(tri2.algorithms()) == 1  # single product, one tree
+    # sum<k>: two k-chains, Catalan(k-1)^2 tree combinations.
+    assert len(get_expression("sum2").algorithms()) == 1
+    assert len(get_expression("sum3").algorithms()) == 4
+
+
+def test_is_known_expression_answers_without_materialising():
+    before = known_expressions()
+    assert is_known_expression("gram8")
+    assert is_known_expression("chain4")
+    assert not is_known_expression("gram2")   # below the family's floor
+    assert not is_known_expression("sum6")    # beyond the plan-count cap
+    assert not is_known_expression("nope")
+    assert known_expressions() == before  # nothing was registered
+
+
+def test_pattern_caps_raise_key_errors():
+    for name in ("gram2", "sum6", "tri1", "chain9"):
+        with pytest.raises(KeyError):
+            get_expression(name)

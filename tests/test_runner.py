@@ -120,21 +120,137 @@ def test_cli_runs_matrix_and_lists(tmp_path, capsys):
     listed = capsys.readouterr().out.strip().splitlines()
     assert "quick-seed0-aatb-paper_box" in listed
     assert "quick-seed0-chain4-paper_box" in listed
-    # Extras ride along; a failing extra makes the exit code nonzero.
+    # Compiler-generated families are part of the default matrix.
+    assert "quick-seed0-gram3-paper_box" in listed
+    assert "quick-seed0-tri4-paper_box" in listed
+    assert "quick-seed0-sum3-paper_box" in listed
+    # Extras ride along, pattern names validate without registration.
     assert (
         runner_main(
             [
-                "--expressions", "aatb",
-                "--extra", "quick:0:not-an-expression",
+                "--list",
+                "--extra", "quick:7:gram4:wide_box",
                 "--cache-dir", cache_dir,
-                "--store", "sqlite",
             ]
         )
-        == 1
+        == 0
     )
+    assert "quick-seed7-gram4-wide_box" in capsys.readouterr().out
 
 
 def test_cli_requires_a_cache_dir(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     assert runner_main(["--list"]) == 2
     assert "cache-dir" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_extra_expression_upfront(tmp_path, capsys):
+    # A typo is a usage error at parse time, not a KeyError traceback
+    # from a worker process.
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(
+            [
+                "--extra", "quick:0:not-an-expression",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown expression 'not-an-expression'" in err
+    assert "gram<k>" in err  # the error teaches the valid patterns
+
+
+@pytest.mark.parametrize(
+    "extra,fragment",
+    [
+        ("quick:0", "scale:seed:expression"),
+        ("warm:0:aatb", "scale must be one of"),
+        ("quick:x:aatb", "seed must be an integer"),
+        ("quick:0:aatb:narrow_box", "box must be one of"),
+    ],
+)
+def test_cli_rejects_malformed_extras(tmp_path, capsys, extra, fragment):
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(["--extra", extra, "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_expressions_option(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(
+            [
+                "--expressions", "aatb,chan4",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+    assert excinfo.value.code == 2
+    assert "chan4" in capsys.readouterr().err
+
+
+def test_cli_exit_code_reflects_failed_studies(tmp_path, capsys, monkeypatch):
+    # A valid-name study whose pipeline fails must turn into exit
+    # code 1 (the outcome line carries the error), not a crash.
+    def boom(config, expression_name, backend=None):
+        raise RuntimeError("pipeline exploded")
+
+    monkeypatch.setattr(
+        "repro.runner.runner.compute_study_results", boom
+    )
+    exit_code = runner_main(
+        [
+            "--expressions", "aatb",
+            "--jobs", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "failed" in out and "pipeline exploded" in out
+
+
+def test_cli_abundance_survives_mid_run_pattern_registration(
+    tmp_path, capsys, monkeypatch
+):
+    # An in-process --extra of a pattern family registers it into the
+    # registry *during* the run; the abundance figure must still cover
+    # exactly the names that were warmed (the snapshot taken before
+    # the run), not the grown registry — and exit 0.
+    from repro.expressions import registry
+
+    monkeypatch.setattr(
+        registry, "_REGISTRY", {"aatb": registry._REGISTRY["aatb"]}
+    )
+    exit_code = runner_main(
+        [
+            "--extra", "quick:0:tri3",
+            "--abundance",
+            "--jobs", "1",
+            "--cache-dir", str(tmp_path / "mid"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "tri3" in registry.known_expressions()  # registered mid-run
+    assert exit_code == 0
+    assert "quick-seed0-tri3-paper_box" in out
+    assert "Anomaly abundance vs search volume" in out
+    assert "skipped" not in out
+
+
+def test_cli_abundance_runs_boxes_and_prints_figure(tmp_path, capsys):
+    exit_code = runner_main(
+        [
+            "--expressions", "aatb",
+            "--abundance",
+            "--jobs", "1",
+            "--cache-dir", str(tmp_path / "ab"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    # All three boxes were warmed through the store...
+    for box in ("paper_box", "wide_box", "huge_box"):
+        assert f"quick-seed0-aatb-{box}" in out
+    # ...and the figure rendered from it.
+    assert "Anomaly abundance vs search volume" in out
+    assert "huge_box" in out.split("Anomaly abundance")[1]
