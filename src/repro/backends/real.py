@@ -98,6 +98,16 @@ class RealBlasBackend(Backend):
             n, k = dims
             a = rng.standard_normal((n, k))
             return self._median_time(lambda: blas.syrk_lower(a))
+        if kernel is KernelName.ADD:
+            m, n = dims
+            a = rng.standard_normal((m, n))
+            b = rng.standard_normal((m, n))
+            return self._median_time(lambda: blas.add(a, b))
+        if kernel is KernelName.TRSM:
+            m, n = dims
+            l = np.tril(rng.standard_normal((m, m))) + m * np.eye(m)
+            b = rng.standard_normal((m, n))
+            return self._median_time(lambda: blas.trsm(l, b))
         m, n = dims  # SYMM
         s = rng.standard_normal((m, m))
         s = s + s.T

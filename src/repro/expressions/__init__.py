@@ -10,13 +10,20 @@ the paper's ``chain<k>``/``aatb`` and the generated ``gram<k>``/
 
 from repro.expressions.base import Algorithm, Expression
 from repro.expressions.chain import ChainExpression, optimal_parenthesisation
-from repro.expressions.compiler import CompiledExpression, Plan, compile_plans
+from repro.expressions.compiler import (
+    CompiledExpression,
+    Plan,
+    PruneConfig,
+    compile_plans,
+)
 from repro.expressions.families import (
+    AddChainExpression,
     GramExpression,
+    SolveChainExpression,
     SumOfChainsExpression,
     TriChainExpression,
 )
-from repro.expressions.ir import Leaf, ProductExpr, SumExpr
+from repro.expressions.ir import AddExpr, Leaf, ProductExpr, SumExpr
 from repro.expressions.registry import (
     get_expression,
     is_known_expression,
@@ -25,6 +32,8 @@ from repro.expressions.registry import (
 )
 
 __all__ = [
+    "AddChainExpression",
+    "AddExpr",
     "Algorithm",
     "ChainExpression",
     "CompiledExpression",
@@ -33,6 +42,8 @@ __all__ = [
     "Leaf",
     "Plan",
     "ProductExpr",
+    "PruneConfig",
+    "SolveChainExpression",
     "SumExpr",
     "SumOfChainsExpression",
     "TriChainExpression",

@@ -42,6 +42,18 @@ def symm_lower(s: np.ndarray, b: np.ndarray) -> np.ndarray:
     return full @ b
 
 
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = A + B elementwise (GEADD/AXPY-style; memory-bound)."""
+    return a + b
+
+
+def trsm(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """X = L⁻¹ B via dtrsm, reading only the lower triangle of L."""
+    if HAVE_SCIPY_BLAS:
+        return _blas.dtrsm(1.0, l, b, lower=1)
+    return np.linalg.solve(np.tril(l), b)
+
+
 def fill_symmetric_from_lower(s: np.ndarray) -> np.ndarray:
     """The explicit copy step of the syrk+copy+gemm variant."""
     return np.tril(s) + np.tril(s, -1).T

@@ -1,8 +1,18 @@
 """Algorithm compiler: lower an expression IR to kernel-call plans.
 
 The pipeline per expression (the capture→lower shape of
-torchdynamo/torchinductor, scaled to three BLAS kernels):
+torchdynamo/torchinductor, scaled to five BLAS-style kernels; a
+worked walkthrough lives in ``docs/compiler.md``):
 
+0. **Cost-guided pruning** (optional, :class:`PruneConfig`) — when a
+   family's tree cross-product explodes (a sum of two ``k``-chains has
+   ``Catalan(k-1)²`` combinations), trees/combinations are ranked by
+   the FLOP cost of their unrewritten lowering evaluated at a probe
+   instance (by default staggered across the paper box — see
+   :meth:`PruneConfig.resolve_centroid`), and only the cheapest
+   ``budget`` survive to the passes below.  Ties break to enumeration
+   order, so the pruned set is always a prefix of the stable
+   cost-ranked full enumeration.
 1. **Parenthesisation enumeration** — every full binary tree over each
    product's factors (:func:`repro.expressions.trees.enumerate_trees`),
    or a family-supplied tree list when presentation order matters.
@@ -14,7 +24,10 @@ torchdynamo/torchinductor, scaled to three BLAS kernels):
    left operand is symmetric (a SYRK output or a symmetric leaf) lower
    to SYMM (again with GEMM as the variant).  Variant order pairs
    symmetry-exploiting consumers with symmetry-exploiting producers
-   first — the paper's Figure 4 order.
+   first — the paper's Figure 4 order.  A product whose left factor is
+   a triangular-inverse leaf lowers to TRSM (no variant: the operand
+   is never inverted explicitly), and an :class:`AddExpr` factor is
+   materialised by ADD calls immediately before its first consumer.
 4. **Storage resolution** — SYRK writes a lower triangle; a consumer
    other than SYMM's symmetric operand forces a FLOP-free copy to full
    storage on the producer (the paper's ``syrk+copy+gemm`` variant).
@@ -48,6 +61,8 @@ import numpy as np
 from repro.expressions import blas
 from repro.expressions.base import Algorithm, Expression
 from repro.expressions.ir import (
+    AddExpr,
+    Factor,
     Leaf,
     MatrixExpr,
     OperandSpec,
@@ -73,11 +88,96 @@ ACCUMULATE_NOTE = "accumulates into the running sum"
 
 
 @dataclass(frozen=True)
+class PruneConfig:
+    """Cost-guided pruning of the parenthesisation cross-product.
+
+    ``budget`` counts *trees* (for a sum: per-term tree combinations);
+    every kernel variant and schedule of a kept tree survives — the
+    kernel choice is the performance question under study, association
+    is what explodes combinatorially.  Trees are ranked by the FLOP
+    cost of their unrewritten (GEMM/TRSM, plus ADD-factor) lowering
+    evaluated at ``centroid`` — one concrete size per instance dim —
+    with CSE ignored and ties broken to enumeration order, so the kept
+    set is a prefix of the stable cost-ranked full enumeration.
+
+    The default probe *staggers* the dims across the paper box
+    (distinct sizes, linearly spaced) rather than using the literal
+    midpoint: at an all-equal point every association of a chain costs
+    exactly the same and the "ranking" would collapse to enumeration
+    order.  Distinct per-dim sizes make tree costs genuinely differ,
+    so the budget keeps associations that are cheap *somewhere real*
+    in the box.
+    """
+
+    budget: int
+    centroid: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("prune budget must be >= 1")
+
+    def resolve_centroid(self, n_dims: int) -> Tuple[int, ...]:
+        if self.centroid is not None:
+            if len(self.centroid) != n_dims:
+                raise ValueError(
+                    f"centroid has {len(self.centroid)} dims, "
+                    f"expression has {n_dims}"
+                )
+            return self.centroid
+        from repro.core.searchspace import PAPER_HIGH, PAPER_LOW
+
+        span = PAPER_HIGH - PAPER_LOW
+        return tuple(
+            PAPER_LOW + (i + 1) * span // (n_dims + 1)
+            for i in range(n_dims)
+        )
+
+
+def _tree_cost(
+    factors: Tuple[Factor, ...],
+    tree: Tree,
+    centroid: Sequence[int],
+    offset: int = 0,
+) -> float:
+    """FLOPs of one tree's unrewritten lowering at concrete dims.
+
+    GEMM cost per product node, TRSM for a triangular-inverse left
+    leaf, ADD for add factors; CSE and the SYRK/SYMM rewrites are
+    ignored — this is a ranking key, not an exact plan cost (for
+    GEMM-only families the two coincide).
+    """
+
+    def walk(node) -> Tuple[float, float, float, bool]:
+        if isinstance(node, int):
+            factor = factors[node + offset]
+            rows = float(centroid[factor.rows])
+            cols = float(centroid[factor.cols])
+            cost = 0.0
+            if isinstance(factor, AddExpr):
+                cost = (len(factor.leaves) - 1) * rows * cols
+            return rows, cols, cost, factor.triangular
+        l_rows, l_cols, l_cost, l_triangular = walk(node[0])
+        _r_rows, r_cols, r_cost, _ = walk(node[1])
+        if l_triangular:
+            node_cost = l_rows * l_rows * r_cols
+        else:
+            node_cost = 2.0 * l_rows * r_cols * l_cols
+        return l_rows, r_cols, l_cost + r_cost + node_cost, False
+
+    return walk(tree)[2]
+
+
+@dataclass(frozen=True)
 class ValueRef:
-    """Reference to a value: a leaf factor or a prior step's output."""
+    """Reference to a value: a leaf factor or a prior step's output.
+
+    ``sub`` addresses one summand inside an :class:`AddExpr` factor
+    slot (None for plain leaves and steps).
+    """
 
     kind: str  # "leaf" | "step"
     index: int
+    sub: Optional[int] = None
 
     @property
     def is_step(self) -> bool:
@@ -109,7 +209,7 @@ class Plan:
 
     expression: str
     n_dims: int
-    leaves: Tuple[Leaf, ...]
+    leaves: Tuple[Factor, ...]
     steps: Tuple[PlanStep, ...]
     tree_index: int
     tree_label: str
@@ -152,7 +252,8 @@ class Plan:
         def resolve(ref: ValueRef) -> np.ndarray:
             if ref.is_step:
                 return values[ref.index]
-            leaf = self.leaves[ref.index]
+            factor = self.leaves[ref.index]
+            leaf = factor.leaves[ref.sub] if ref.sub is not None else factor
             operand = operands[leaf.operand]
             return operand.T if leaf.transposed else operand
 
@@ -167,6 +268,11 @@ class Plan:
                     )
             elif step.kernel is KernelName.SYMM:
                 value = blas.symm_lower(resolve(step.left), resolve(step.right))
+            elif step.kernel is KernelName.TRSM:
+                leaf = self.leaves[step.left.index]
+                value = blas.trsm(operands[leaf.operand], resolve(step.right))
+            elif step.kernel is KernelName.ADD:
+                value = blas.add(resolve(step.left), resolve(step.right))
             else:
                 value = blas.gemm(resolve(step.left), resolve(step.right))
             if step.copy_to_full:
@@ -212,6 +318,7 @@ class _Node:
     cols: int  # dim index
     inner: int  # dim index of the contracted extent
     syrk_pattern: bool
+    trsm_pattern: bool
     symmetric: bool
     internal_children: int
 
@@ -219,7 +326,7 @@ class _Node:
 class _NodeTable:
     """Unique-product table shared across the trees of one lowering."""
 
-    def __init__(self, leaves: Tuple[Leaf, ...]) -> None:
+    def __init__(self, leaves: Tuple[Factor, ...]) -> None:
         self.leaves = leaves
         self.nodes: List[_Node] = []
         self._by_signature: Dict[Signature, int] = {}
@@ -241,6 +348,10 @@ class _NodeTable:
             return self.nodes[ref.index].symmetric
         return self.leaves[ref.index].symmetric
 
+    def ref_triangular(self, ref: ValueRef) -> bool:
+        """Whether a ref is a triangular-inverse leaf (TRSM trigger)."""
+        return not ref.is_step and self.leaves[ref.index].triangular
+
     def add(self, tree: Tree, leaf_offset: int = 0) -> ValueRef:
         """Intern a parenthesisation tree; returns the root's ref."""
         if isinstance(tree, int):
@@ -257,9 +368,15 @@ class _NodeTable:
             raise ValueError(
                 f"tree does not chain: inner dims {l_cols} vs {r_rows}"
             )
-        syrk_pattern = self.ref_signature(right) == transpose_signature(
-            self.ref_signature(left)
-        )
+        if self.ref_triangular(right):
+            raise ValueError(
+                "a triangular (inverse) leaf can only be applied from "
+                "the left (TRSM is a left solve)"
+            )
+        trsm_pattern = self.ref_triangular(left)
+        syrk_pattern = not trsm_pattern and self.ref_signature(
+            right
+        ) == transpose_signature(self.ref_signature(left))
         node = _Node(
             signature=signature,
             left=left,
@@ -268,6 +385,7 @@ class _NodeTable:
             cols=r_cols,
             inner=l_cols,
             syrk_pattern=syrk_pattern,
+            trsm_pattern=trsm_pattern,
             symmetric=syrk_pattern,
             internal_children=int(left.is_step) + int(right.is_step),
         )
@@ -281,11 +399,15 @@ def _kernel_choices(
 ) -> Tuple[KernelName, ...]:
     """Kernel options for one product node, in canonical variant order.
 
-    SYRK-pattern products offer [SYRK, GEMM].  Products with a
-    symmetric left operand offer SYMM and GEMM, symmetry-exploiting
-    pairing first: [SYMM, GEMM] after a SYRK producer or a symmetric
-    leaf, [GEMM, SYMM] after a GEMM producer (Figure 4's order).
+    TRSM-pattern products (triangular-inverse left leaf) have no
+    variant — the operand is never inverted explicitly.  SYRK-pattern
+    products offer [SYRK, GEMM].  Products with a symmetric left
+    operand offer SYMM and GEMM, symmetry-exploiting pairing first:
+    [SYMM, GEMM] after a SYRK producer or a symmetric leaf,
+    [GEMM, SYMM] after a GEMM producer (Figure 4's order).
     """
+    if node.trsm_pattern:
+        return (KernelName.TRSM,)
     if node.syrk_pattern:
         return (KernelName.SYRK, KernelName.GEMM)
     if table.ref_symmetric(node.left):
@@ -346,6 +468,9 @@ class _Lowering:
         self.table = table
         self.steps: List[_MutableStep] = []
         self._step_of_node: Dict[int, int] = {}
+        # Materialised AddExpr factors, keyed by signature so a factor
+        # repeated across terms/trees of one plan is summed once.
+        self._step_of_add: Dict[Signature, int] = {}
 
     def _require_full(self, ref: ValueRef) -> None:
         """Force full storage on a triangular producer (FLOP-free copy)."""
@@ -390,13 +515,62 @@ class _Lowering:
         return self._step_of_node[root.index]
 
     def _resolve(self, ref: ValueRef) -> ValueRef:
-        """Node-space ref → step-space ref (leaves pass through)."""
+        """Node-space ref → step-space ref.
+
+        Plain leaves pass through; an :class:`AddExpr` factor is
+        materialised here — a chain of ADD calls emitted immediately
+        before its first consumer — and resolves to its final ADD
+        step (shared by every later consumer).
+        """
         if ref.is_step:
             return ValueRef("step", self._step_of_node[ref.index])
+        factor = self.table.leaves[ref.index]
+        if isinstance(factor, AddExpr):
+            return ValueRef("step", self._emit_add(ref.index, factor))
         return ref
+
+    def _emit_add(self, leaf_index: int, factor: AddExpr) -> int:
+        signature = factor.signature()
+        existing = self._step_of_add.get(signature)
+        if existing is not None:
+            return existing
+        running: Optional[int] = None
+        for ordinal in range(1, len(factor.leaves)):
+            left = (
+                ValueRef("leaf", leaf_index, sub=0)
+                if running is None
+                else ValueRef("step", running)
+            )
+            right = ValueRef("leaf", leaf_index, sub=ordinal)
+            step = _MutableStep(
+                kernel=KernelName.ADD,
+                dims=(factor.rows, factor.cols),
+                left=left,
+                right=right,
+                consumed=[left, right],
+            )
+            self.steps.append(step)
+            running = len(self.steps) - 1
+        self._step_of_add[signature] = running
+        return running
 
     def _emit_node(self, node_index: int, kernel: KernelName) -> None:
         node = self.table.nodes[node_index]
+        if kernel is KernelName.TRSM:
+            # Left is the triangular-inverse leaf itself — the step
+            # references the stored L, never an explicit inverse.
+            right = self._resolve(node.right)
+            step = _MutableStep(
+                kernel=kernel,
+                dims=(node.rows, node.cols),
+                left=node.left,
+                right=right,
+                consumed=[right],
+            )
+            self._require_full(right)
+            self.steps.append(step)
+            self._step_of_node[node_index] = len(self.steps) - 1
+            return
         left = self._resolve(node.left)
         # The right operand of a SYRK node is dead code (same data as
         # the left) and may never have been emitted — resolve lazily.
@@ -487,7 +661,7 @@ class _Lowering:
 # ----------------------------------------------------------------------
 
 
-def _tree_label(leaves: Tuple[Leaf, ...], tree: Tree, offset: int = 0) -> str:
+def _tree_label(leaves: Tuple[Factor, ...], tree: Tree, offset: int = 0) -> str:
     def render(node: Tree, top: bool) -> str:
         if isinstance(node, int):
             return leaves[node + offset].render()
@@ -517,14 +691,28 @@ def compile_product_plans(
     expression_name: str,
     product: ProductExpr,
     trees: Optional[Sequence[Tree]] = None,
+    prune: Optional[PruneConfig] = None,
 ) -> List[Plan]:
-    """Lower one product to plans: trees × kernel variants × schedules."""
+    """Lower one product to plans: trees × kernel variants × schedules.
+
+    With ``prune``, only the ``budget`` centroid-cheapest trees are
+    lowered, in cost-rank order; ``tree_index`` (and hence plan names)
+    keep their full-enumeration positions.
+    """
     leaves = product.factors
     n_dims = expr_n_dims(product)
     if trees is None:
         trees = enumerate_trees(len(leaves))
+    trees = list(trees)
+    tree_order: Sequence[int] = range(len(trees))
+    if prune is not None and len(trees) > prune.budget:
+        centroid = prune.resolve_centroid(n_dims)
+        costs = [_tree_cost(leaves, tree, centroid) for tree in trees]
+        ranked = sorted(range(len(trees)), key=lambda i: (costs[i], i))
+        tree_order = ranked[: prune.budget]
     plans: List[Plan] = []
-    for tree_index, tree in enumerate(trees):
+    for tree_index in tree_order:
+        tree = trees[tree_index]
         probe = _NodeTable(leaves)
         root = probe.add(tree)
         node_order = [
@@ -584,6 +772,7 @@ def compile_sum_plans(
     expression_name: str,
     sum_expr: SumExpr,
     trees_per_term: Optional[Sequence[Sequence[Tree]]] = None,
+    prune: Optional[PruneConfig] = None,
 ) -> List[Plan]:
     """Lower a sum: per-term tree combinations, accumulation folded.
 
@@ -592,6 +781,13 @@ def compile_sum_plans(
     call after the first accumulates into the running sum (FLOP-free,
     like the paper's copy).  Kernel variants are enumerated over the
     union of the combination's unique nodes.
+
+    The tree cross-product is quadratic in the per-term Catalan
+    numbers; with ``prune``, combinations are ranked by the sum of
+    their per-term centroid tree costs *before* any lowering happens,
+    and only the ``budget`` cheapest are lowered (in cost-rank order,
+    keeping their full-enumeration ``combo_index`` for naming) — this
+    is what lifts the ``sum<k>`` registry cap.
     """
     terms = sum_expr.terms
     leaves = tuple(leaf for term in terms for leaf in term.factors)
@@ -601,8 +797,48 @@ def compile_sum_plans(
     )
     if trees_per_term is None:
         trees_per_term = [enumerate_trees(len(t.factors)) for t in terms]
+    term_trees = [list(trees) for trees in trees_per_term]
+    counts = [len(trees) for trees in term_trees]
+    total = 1
+    for count in counts:
+        total *= count
+
+    def combo_picks(combo_index: int) -> List[int]:
+        """Flat itertools.product position → one tree index per term."""
+        picks: List[int] = []
+        remainder = combo_index
+        for count in reversed(counts):
+            remainder, pick = divmod(remainder, count)
+            picks.append(pick)
+        picks.reverse()
+        return picks
+
+    def combo_at(combo_index: int) -> Tuple[Tree, ...]:
+        return tuple(
+            term_trees[t][pick]
+            for t, pick in enumerate(combo_picks(combo_index))
+        )
+
+    combo_order: Sequence[int] = range(total)
+    if prune is not None and total > prune.budget:
+        centroid = prune.resolve_centroid(n_dims)
+        term_costs = [
+            [_tree_cost(leaves, tree, centroid, offsets[t]) for tree in trees]
+            for t, trees in enumerate(term_trees)
+        ]
+
+        def combo_cost(combo_index: int) -> float:
+            return sum(
+                term_costs[t][pick]
+                for t, pick in enumerate(combo_picks(combo_index))
+            )
+
+        ranked = sorted(range(total), key=lambda i: (combo_cost(i), i))
+        combo_order = ranked[: prune.budget]
+
     plans: List[Plan] = []
-    for combo_index, combo in enumerate(itertools.product(*trees_per_term)):
+    for combo_index in combo_order:
+        combo = combo_at(combo_index)
         probe = _NodeTable(leaves)
         roots = [
             probe.add(tree, offsets[t]) for t, tree in enumerate(combo)
@@ -668,14 +904,41 @@ def compile_sum_plans(
     return plans
 
 
+def compile_add_plans(expression_name: str, expr: AddExpr) -> List[Plan]:
+    """Lower a standalone elementwise sum: one plan, a chain of ADDs.
+
+    There is nothing to associate (elementwise addition has one
+    shape), so the family is a single algorithm — the degenerate but
+    now *expressible* "sum of stored matrices" case.
+    """
+    leaves: Tuple[Factor, ...] = (expr,)
+    table = _NodeTable(leaves)
+    lowering = _Lowering(table)
+    lowering._emit_add(0, expr)
+    steps = lowering.freeze()
+    return [
+        Plan(
+            expression=expression_name,
+            n_dims=expr_n_dims(expr),
+            leaves=leaves,
+            steps=steps,
+            tree_index=0,
+            tree_label=expr.render(),
+        )
+    ]
+
+
 def compile_plans(
     expression_name: str,
     expr: MatrixExpr,
     trees: Optional[Sequence] = None,
+    prune: Optional[PruneConfig] = None,
 ) -> List[Plan]:
     if isinstance(expr, ProductExpr):
-        return compile_product_plans(expression_name, expr, trees)
-    return compile_sum_plans(expression_name, expr, trees)
+        return compile_product_plans(expression_name, expr, trees, prune)
+    if isinstance(expr, AddExpr):
+        return compile_add_plans(expression_name, expr)
+    return compile_sum_plans(expression_name, expr, trees, prune)
 
 
 # ----------------------------------------------------------------------
@@ -697,14 +960,16 @@ class CompiledExpression(Expression):
         expr: MatrixExpr,
         trees: Optional[Sequence] = None,
         namer: Optional[PlanNamer] = None,
+        prune: Optional[PruneConfig] = None,
     ) -> None:
         self.name = name
         self.ir = expr
+        self.prune = prune
         self.n_dims = expr_n_dims(expr)
         self.operands: Tuple[OperandSpec, ...] = operand_table(expr)
         self.operand_labels = "".join(spec.label for spec in self.operands)
         namer = namer or default_plan_namer
-        self._plans = tuple(compile_plans(name, expr, trees))
+        self._plans = tuple(compile_plans(name, expr, trees, prune))
         self._algorithms = tuple(
             Algorithm(
                 name=namer(plan, ordinal),
@@ -734,20 +999,45 @@ class CompiledExpression(Expression):
             matrix = rng.standard_normal(shape)
             if spec.symmetric:
                 matrix = matrix + matrix.T
+            elif spec.triangular:
+                # Well-conditioned lower-triangular: unit-dominant
+                # diagonal, damped off-diagonal mass.  Only the lower
+                # triangle is ever read (TRSM semantics), so the upper
+                # part is simply zeroed.
+                matrix = np.tril(matrix, -1) / shape[0] ** 0.5 + np.diag(
+                    1.0 + np.abs(np.diag(matrix))
+                )
             out.append(np.asfortranarray(matrix))
         return out
 
     def reference(self, operands: Sequence[np.ndarray]) -> np.ndarray:
-        def factor_value(leaf: Leaf) -> np.ndarray:
+        def leaf_value(leaf: Leaf) -> np.ndarray:
             operand = operands[leaf.operand]
             return operand.T if leaf.transposed else operand
 
+        def factor_value(factor) -> np.ndarray:
+            if isinstance(factor, AddExpr):
+                total = leaf_value(factor.leaves[0])
+                for leaf in factor.leaves[1:]:
+                    total = total + leaf_value(leaf)
+                return total
+            return leaf_value(factor)
+
         def term_value(term: ProductExpr) -> np.ndarray:
-            value = factor_value(term.factors[0])
-            for leaf in term.factors[1:]:
-                value = value @ factor_value(leaf)
+            factors = term.factors
+            # A triangular-inverse head is applied last, as one solve
+            # against the rest of the product.
+            start = 1 if factors[0].triangular else 0
+            value = factor_value(factors[start])
+            for factor in factors[start + 1 :]:
+                value = value @ factor_value(factor)
+            if start:
+                lower = np.tril(operands[factors[0].operand])
+                value = np.linalg.solve(lower, value)
             return value
 
+        if isinstance(self.ir, AddExpr):
+            return factor_value(self.ir)
         terms = expr_terms(self.ir)
         total = term_value(terms[0])
         for term in terms[1:]:

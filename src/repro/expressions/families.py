@@ -18,15 +18,44 @@ scenario axes:
   accumulation into its output write (FLOP-free).  For ``k ≥ 3`` each
   term's association is free, so plans differ in FLOPs and the family
   is anomaly-bearing; ``sum2`` (``AB + CD``) is the degenerate
-  all-plans-tie case.
+  all-plans-tie case.  The tree cross-product is quadratic in the
+  per-term Catalan number, so ``k > 5`` compiles under cost-guided
+  pruning (:data:`SUM_PRUNE_BUDGET` cheapest combinations at the
+  default staggered box probe); ``k ≤ 5`` still enumerates exactly, so
+  its plans — and study payloads — are untouched by the pruning pass.
+* :class:`AddChainExpression` (``addchain<k>``): a ``k``-factor chain
+  whose second factor is an elementwise sum, ``A (B + C) D ⋯`` — the
+  factored-out form of ``A B D ⋯ + A C D ⋯``.  Every plan pays one
+  memory-bound ADD call; association of the surrounding chain is free,
+  so the anomaly structure is chain-like.
+* :class:`SolveChainExpression` (``solve<k>``): ``L⁻¹ A₁ ⋯ A_{k-1}``
+  with ``L`` lower triangular.  Plans differ in *where* the solve
+  happens: the FLOP-cheapest ones apply TRSM at the narrowest chain
+  boundary, exactly where TRSM's right-hand-side efficiency collapses
+  — an abundant-anomaly family like ``aatb``.
 """
 
 from __future__ import annotations
 
-from repro.expressions.compiler import CompiledExpression
-from repro.expressions.ir import Leaf, ProductExpr, SumExpr, chain_leaves
+from repro.expressions.compiler import CompiledExpression, PruneConfig
+from repro.expressions.ir import (
+    AddExpr,
+    Leaf,
+    ProductExpr,
+    SumExpr,
+    chain_leaves,
+)
 
 _LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+#: Tree-combination budget for ``sum<k>`` beyond the exact range: the
+#: cost-ranked cheapest combinations at the default staggered probe.
+SUM_PRUNE_BUDGET = 64
+
+#: Largest ``k`` whose ``sum<k>`` cross-product is enumerated exactly
+#: (Catalan(4)² = 196 combinations); pruning starts above it, so every
+#: previously-reachable ``sum<k>`` keeps byte-identical plans.
+SUM_EXACT_MAX = 5
 
 
 class GramExpression(CompiledExpression):
@@ -86,7 +115,72 @@ class SumOfChainsExpression(CompiledExpression):
         # conformable) and brings its own k-1 inner dims.
         boundaries = [0] + list(range(k + 1, 2 * k)) + [k]
         second = chain_leaves(boundaries, first_operand=k)
+        prune = (
+            PruneConfig(budget=SUM_PRUNE_BUDGET)
+            if n_matrices > SUM_EXACT_MAX
+            else None
+        )
         super().__init__(
             f"sum{n_matrices}",
             SumExpr((ProductExpr(first), ProductExpr(second))),
+            prune=prune,
         )
+
+
+class AddChainExpression(CompiledExpression):
+    """``addchain<k>``: A (B + C) D ⋯ over boundaries (d0, ..., dk).
+
+    Factor 1 is the elementwise sum of two distinct ``d1×d2`` operands
+    (the compiler materialises it with one ADD call per plan); the
+    remaining factors form a plain distinct-operand chain, so the
+    ``k``-factor family has the chain's Catalan(k-1) trees.
+    """
+
+    def __init__(self, n_factors: int = 3) -> None:
+        if n_factors < 2:
+            raise ValueError(
+                "addchain needs at least two factors (A (B + C))"
+            )
+        self.n_factors = n_factors
+        factors = (
+            Leaf(operand=0, rows=0, cols=1, label="A"),
+            AddExpr(
+                (
+                    Leaf(operand=1, rows=1, cols=2, label="B"),
+                    Leaf(operand=2, rows=1, cols=2, label="C"),
+                )
+            ),
+        ) + tuple(
+            Leaf(
+                operand=i + 1,
+                rows=i,
+                cols=i + 1,
+                label=_LABELS[i + 1],
+            )
+            for i in range(2, n_factors)
+        )
+        super().__init__(f"addchain{n_factors}", ProductExpr(factors))
+
+
+class SolveChainExpression(CompiledExpression):
+    """``solve<k>``: L⁻¹ A₁ ⋯ A_{k-1} over dims (d0, ..., d_{k-1}).
+
+    ``L ∈ R^{d0×d0}`` lower triangular; the trailing chain runs over
+    boundaries ``d0, d1, ..., d_{k-1}``.  Each tree solves at a
+    different boundary, so TRSM's right-hand-side count — and with it
+    the solve's efficiency — varies across plans of equal-looking
+    structure.
+    """
+
+    def __init__(self, n_factors: int = 3) -> None:
+        if n_factors < 2:
+            raise ValueError("solve needs at least two factors (L⁻¹ A)")
+        self.n_factors = n_factors
+        factors = (
+            Leaf(operand=0, rows=0, cols=0, triangular=True, label="L"),
+        ) + chain_leaves(
+            list(range(n_factors)),
+            labels="L" + _LABELS,
+            first_operand=1,
+        )
+        super().__init__(f"solve{n_factors}", ProductExpr(factors))

@@ -3,14 +3,24 @@
 The IR describes *what* to compute; :mod:`repro.expressions.compiler`
 decides *how*, by enumerating parenthesisations and kernel rewrites.
 The split mirrors the capture/lower shape of torchdynamo-style
-compilers: a small declarative graph in, kernel-call plans out.
+compilers: a small declarative graph in, kernel-call plans out.  A
+narrative walkthrough of the whole stack lives in ``docs/compiler.md``.
 
 A :class:`Leaf` is one factor of a product — a (possibly transposed)
 view of a stored operand.  Several leaves may reference the same
 operand (the *same-operand* property, e.g. ``A`` and ``Aᵀ`` in
 ``A Aᵀ B``), which is what the compiler's SYRK and common-subexpression
 rewrites key on.  A leaf may also mark its operand *symmetric*, which
-unlocks the SYMM rewrite without a SYRK producer.
+unlocks the SYMM rewrite without a SYRK producer, or *triangular*,
+which turns the leaf into the inverse of a lower-triangular stored
+operand: products applying it from the left lower to TRSM (a
+triangular solve — the operand is never inverted explicitly).
+
+Beyond single leaves, a product factor may be an :class:`AddExpr` —
+the elementwise sum of same-shape leaves (``A (B + C) D``).  The
+compiler materialises it with the memory-bound ADD kernel before the
+consuming product; an :class:`AddExpr` standing alone is also a valid
+whole expression (a plain sum of stored matrices).
 
 Shapes are expressed as indices into the expression's instance dim
 vector, never as concrete sizes: the same IR serves numeric
@@ -23,8 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
-#: Structural signature of a value (leaf or product) — the unit of
-#: common-subexpression detection and of the SYRK ``X·Xᵀ`` pattern.
+#: Structural signature of a value (leaf, add or product) — the unit
+#: of common-subexpression detection and of the SYRK ``X·Xᵀ`` pattern.
 Signature = Tuple
 
 
@@ -33,7 +43,10 @@ class Leaf:
     """One factor: a (possibly transposed) view of a stored operand.
 
     ``rows``/``cols`` are dim-vector indices of the *factor* shape; the
-    stored operand has shape ``(cols, rows)`` when ``transposed``.
+    stored operand has shape ``(cols, rows)`` when ``transposed``.  A
+    ``triangular`` leaf is the *inverse* of a lower-triangular stored
+    operand (``L⁻¹``): it must be square, must lead its product, and
+    lowers to TRSM rather than to a multiplication kernel.
     """
 
     operand: int
@@ -41,6 +54,7 @@ class Leaf:
     cols: int
     transposed: bool = False
     symmetric: bool = False
+    triangular: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -51,6 +65,17 @@ class Leaf:
                 f"symmetric leaf {self.label or self.operand} must be "
                 f"square, got dims ({self.rows}, {self.cols})"
             )
+        if self.triangular:
+            if self.rows != self.cols:
+                raise ValueError(
+                    f"triangular leaf {self.label or self.operand} must "
+                    f"be square, got dims ({self.rows}, {self.cols})"
+                )
+            if self.transposed or self.symmetric:
+                raise ValueError(
+                    "a triangular (inverse) leaf cannot also be "
+                    "transposed or symmetric"
+                )
 
     @property
     def stored_rows(self) -> int:
@@ -61,6 +86,8 @@ class Leaf:
         return self.rows if self.transposed else self.cols
 
     def signature(self) -> Signature:
+        if self.triangular:
+            return ("leaf-inv", self.operand)
         # A symmetric operand equals its own transpose; canonicalising
         # the flag makes S and Sᵀ the same value to the compiler.
         transposed = self.transposed and not self.symmetric
@@ -68,14 +95,63 @@ class Leaf:
 
     def render(self) -> str:
         label = self.label or "ABCDEFGHIJKLMNOPQRSTUVWXYZ"[self.operand]
+        if self.triangular:
+            return f"inv({label})"
         return f"{label}'" if self.transposed else label
+
+
+@dataclass(frozen=True)
+class AddExpr:
+    """Elementwise sum of same-shape leaves, usable as a product factor
+    or as a whole expression; lowers to the ADD kernel."""
+
+    leaves: Tuple[Leaf, ...]
+
+    def __init__(self, leaves) -> None:
+        leaves = tuple(leaves)
+        if len(leaves) < 2:
+            raise ValueError("an elementwise add needs at least two leaves")
+        rows, cols = leaves[0].rows, leaves[0].cols
+        for leaf in leaves[1:]:
+            if (leaf.rows, leaf.cols) != (rows, cols):
+                raise ValueError(
+                    "added leaves must share a shape: "
+                    f"({rows}, {cols}) vs ({leaf.rows}, {leaf.cols})"
+                )
+        if any(leaf.triangular for leaf in leaves):
+            raise ValueError(
+                "a triangular (inverse) leaf cannot be a summand"
+            )
+        object.__setattr__(self, "leaves", leaves)
+
+    @property
+    def rows(self) -> int:
+        return self.leaves[0].rows
+
+    @property
+    def cols(self) -> int:
+        return self.leaves[0].cols
+
+    # Properties the compiler queries uniformly across factor kinds.
+    symmetric = False
+    triangular = False
+
+    def signature(self) -> Signature:
+        return ("add",) + tuple(leaf.signature() for leaf in self.leaves)
+
+    def render(self) -> str:
+        return "(" + "+".join(leaf.render() for leaf in self.leaves) + ")"
+
+
+#: One multiplicative factor of a product.
+Factor = Union[Leaf, AddExpr]
 
 
 @dataclass(frozen=True)
 class ProductExpr:
     """A flat product of factors; the compiler enumerates its trees."""
 
-    factors: Tuple[Leaf, ...]
+    factors: Tuple[Factor, ...]
 
     def __init__(self, factors) -> None:
         factors = tuple(factors)
@@ -87,6 +163,15 @@ class ProductExpr:
                     f"factor dims do not chain: {left.render()} has col "
                     f"dim {left.cols}, {right.render()} has row dim "
                     f"{right.rows}"
+                )
+        for position, factor in enumerate(factors):
+            if factor.triangular and position != 0:
+                # Leading position guarantees the leaf is a *left*
+                # child in every parenthesisation tree, so TRSM (a
+                # left solve) is always applicable.
+                raise ValueError(
+                    "a triangular (inverse) leaf must be the first "
+                    f"factor of its product, found at position {position}"
                 )
         object.__setattr__(self, "factors", factors)
 
@@ -119,22 +204,40 @@ class SumExpr:
         object.__setattr__(self, "terms", terms)
 
 
-MatrixExpr = Union[ProductExpr, SumExpr]
+MatrixExpr = Union[ProductExpr, SumExpr, AddExpr]
 
 
 def expr_terms(expr: MatrixExpr) -> Tuple[ProductExpr, ...]:
-    """The expression as a tuple of product terms (one for products)."""
+    """The expression as a tuple of product terms (one for products).
+
+    A standalone :class:`AddExpr` has no product terms; callers that
+    need its leaves use :func:`all_leaves`.
+    """
     if isinstance(expr, ProductExpr):
         return (expr,)
     if isinstance(expr, SumExpr):
         return expr.terms
+    if isinstance(expr, AddExpr):
+        return ()
     raise TypeError(f"not a matrix expression: {expr!r}")
 
 
+def factor_leaves(factor: Factor) -> Tuple[Leaf, ...]:
+    """The leaves under one factor (a leaf is its own singleton)."""
+    if isinstance(factor, AddExpr):
+        return factor.leaves
+    return (factor,)
+
+
 def all_leaves(expr: MatrixExpr) -> Tuple[Leaf, ...]:
-    """Every factor of every term, flattened in term order."""
+    """Every leaf of every term, flattened in term/factor order."""
+    if isinstance(expr, AddExpr):
+        return expr.leaves
     return tuple(
-        leaf for term in expr_terms(expr) for leaf in term.factors
+        leaf
+        for term in expr_terms(expr)
+        for factor in term.factors
+        for leaf in factor_leaves(factor)
     )
 
 
@@ -154,6 +257,7 @@ class OperandSpec:
     cols: int
     symmetric: bool
     label: str
+    triangular: bool = False
 
 
 def operand_table(expr: MatrixExpr) -> Tuple[OperandSpec, ...]:
@@ -166,6 +270,7 @@ def operand_table(expr: MatrixExpr) -> Tuple[OperandSpec, ...]:
             cols=leaf.stored_cols,
             symmetric=leaf.symmetric,
             label=leaf.label or leaf.render().rstrip("'"),
+            triangular=leaf.triangular,
         )
         existing = specs.get(leaf.operand)
         if existing is None:
@@ -183,10 +288,22 @@ def operand_table(expr: MatrixExpr) -> Tuple[OperandSpec, ...]:
 
 def transpose_signature(signature: Signature) -> Signature:
     """Signature of a value's transpose: ``(XY)ᵀ = Yᵀ Xᵀ``."""
-    if signature[0] == "leaf":
-        kind, operand, transposed = signature
+    kind = signature[0]
+    if kind == "leaf":
+        _, operand, transposed = signature
         return (kind, operand, not transposed)
-    kind, left, right = signature
+    if kind == "leaf-inv":
+        # L⁻ᵀ is not constructible in this IR (triangular leaves
+        # cannot be transposed), so the transpose is a distinct tag
+        # that never matches a real value's signature.
+        return ("leaf-inv-t",) + signature[1:]
+    if kind == "leaf-inv-t":
+        return ("leaf-inv",) + signature[1:]
+    if kind == "add":
+        return ("add",) + tuple(
+            transpose_signature(child) for child in signature[1:]
+        )
+    _, left, right = signature
     return (kind, transpose_signature(right), transpose_signature(left))
 
 

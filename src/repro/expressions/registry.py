@@ -1,13 +1,19 @@
 """Expression registry: name → Expression instance.
 
-Besides explicitly registered expressions, four parametric families
+Besides explicitly registered expressions, six parametric families
 materialise on demand from their name pattern:
 
-* ``chain<k>`` — k-matrix chain (``chain4`` is the paper's chain);
-* ``gram<k>``  — ``Aᵀ A B₁ ⋯`` over k factors (3 ≤ k ≤ 8);
-* ``tri<k>``   — chain with odd factors stored transposed (k ≤ 8);
-* ``sum<k>``   — two-term sum of two k-chains (k ≤ 5; plan count is
-  quadratic in the per-term Catalan number, hence the tighter cap).
+* ``chain<k>``    — k-matrix chain (``chain4`` is the paper's chain);
+* ``gram<k>``     — ``Aᵀ A B₁ ⋯`` over k factors (3 ≤ k ≤ 8);
+* ``tri<k>``      — chain with odd factors stored transposed (k ≤ 8);
+* ``sum<k>``      — two-term sum of two k-chains (k ≤ 8; the tree
+  cross-product is quadratic in the per-term Catalan number, so
+  ``k > 5`` compiles under the cost-guided pruning pass — see
+  :mod:`repro.expressions.families`);
+* ``addchain<k>`` — chain whose second factor is an elementwise sum,
+  ``A (B + C) D ⋯`` (k ≤ 8; lowers through the ADD kernel);
+* ``solve<k>``    — triangular solve against a chain,
+  ``L⁻¹ A₁ ⋯ A_{k-1}`` (k ≤ 8; lowers through the TRSM kernel).
 
 :func:`is_known_expression` answers the membership question *without*
 materialising anything — callers validating user input (the runner
@@ -24,7 +30,9 @@ from repro.expressions.aatb import AatbExpression
 from repro.expressions.base import Expression
 from repro.expressions.chain import ChainExpression
 from repro.expressions.families import (
+    AddChainExpression,
     GramExpression,
+    SolveChainExpression,
     SumOfChainsExpression,
     TriChainExpression,
 )
@@ -36,7 +44,9 @@ _PATTERNS: Tuple[Tuple[str, re.Pattern, int, int, Callable], ...] = (
     ("chain", re.compile(r"^chain(\d+)$"), 2, 8, ChainExpression),
     ("gram", re.compile(r"^gram(\d+)$"), 3, 8, GramExpression),
     ("tri", re.compile(r"^tri(\d+)$"), 2, 8, TriChainExpression),
-    ("sum", re.compile(r"^sum(\d+)$"), 2, 5, SumOfChainsExpression),
+    ("sum", re.compile(r"^sum(\d+)$"), 2, 8, SumOfChainsExpression),
+    ("addchain", re.compile(r"^addchain(\d+)$"), 2, 8, AddChainExpression),
+    ("solve", re.compile(r"^solve(\d+)$"), 2, 8, SolveChainExpression),
 )
 
 
@@ -52,6 +62,8 @@ register(ChainExpression(4))
 register(GramExpression(3))
 register(TriChainExpression(4))
 register(SumOfChainsExpression(3))
+register(AddChainExpression(3))
+register(SolveChainExpression(3))
 
 
 def known_expressions() -> Tuple[str, ...]:

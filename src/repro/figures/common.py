@@ -81,11 +81,11 @@ class FigureConfig:
         )
 
     def search_params(self, expression_name: str) -> Dict[str, int]:
-        # GEMM-only families (chains, transposed chains, chain sums)
-        # have sparse anomalies (<1%), so they get a bigger sample
-        # budget and a smaller target than the abundant SYRK-rewrite
-        # families (aatb, gram<k>).
-        if expression_name.startswith(("chain", "tri", "sum")):
+        # Chain-shaped families (chains, transposed chains, chain
+        # sums, add-chains) have sparse anomalies (<1%), so they get a
+        # bigger sample budget and a smaller target than the abundant
+        # asymmetric-kernel families (aatb, gram<k>, solve<k>).
+        if expression_name.startswith(("chain", "tri", "sum", "addchain")):
             if self.is_full:
                 return {"target_anomalies": 25, "max_samples": 60_000}
             return {"target_anomalies": 6, "max_samples": 6_000}

@@ -1,4 +1,8 @@
-"""Kernel layer: the three BLAS kernels the paper's algorithms use."""
+"""Kernel layer: the BLAS-style kernels the algorithms decompose into.
+
+The paper's expressions use GEMM/SYRK/SYMM; the compiler's wider IR
+coverage adds ADD (elementwise sums) and TRSM (triangular solves).
+"""
 
 from repro.kernels.flops import kernel_flops, kernel_flops_batch
 from repro.kernels.types import (

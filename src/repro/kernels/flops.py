@@ -1,4 +1,4 @@
-"""Exact FLOP formulas for the three kernels.
+"""Exact FLOP formulas for the five kernels.
 
 These are the counts a FLOP-minimising selector (Linnea, Armadillo,
 Julia) uses — the paper's discriminant under study.  They are valid
@@ -14,6 +14,12 @@ Conventions (double precision, multiply+add counted separately):
 * ``SYMM(m, n)``: ``C = S B`` with symmetric ``S in R^{m x m}``,
   ``B in R^{m x n}`` — ``2 m^2 n`` FLOPs (symmetry saves memory, not
   FLOPs).
+* ``ADD(m, n)``: ``C = A + B`` elementwise — ``m n`` FLOPs.  The
+  count is tiny; what makes ADD interesting to the machine model is
+  that it is memory-bound, so its *time* per FLOP is large.
+* ``TRSM(m, n)``: ``X = L^-1 B`` with lower-triangular
+  ``L in R^{m x m}``, ``B in R^{m x n}`` — ``m^2 n`` FLOPs (each of
+  the ``n`` columns costs one ``m x m`` triangular substitution).
 """
 
 from __future__ import annotations
@@ -37,10 +43,20 @@ def symm_flops(m: Any, n: Any) -> Any:
     return 2 * m * m * n
 
 
+def add_flops(m: Any, n: Any) -> Any:
+    return m * n
+
+
+def trsm_flops(m: Any, n: Any) -> Any:
+    return m * m * n
+
+
 _FORMULAS = {
     KernelName.GEMM: gemm_flops,
     KernelName.SYRK: syrk_flops,
     KernelName.SYMM: symm_flops,
+    KernelName.ADD: add_flops,
+    KernelName.TRSM: trsm_flops,
 }
 
 

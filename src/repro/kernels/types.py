@@ -2,7 +2,10 @@
 
 The paper's two expressions decompose into exactly three BLAS-3
 kernels: GEMM (general matrix product), SYRK (symmetric rank-k
-update) and SYMM (symmetric matrix product).
+update) and SYMM (symmetric matrix product).  The compiler's wider IR
+coverage adds two more: ADD (GEADD/AXPY-style elementwise matrix add,
+the lowering target of sum factors) and TRSM (triangular solve, the
+lowering target of triangular-inverse leaves).
 """
 
 from __future__ import annotations
@@ -15,11 +18,13 @@ import numpy as np
 
 
 class KernelName(enum.Enum):
-    """BLAS-3 kernels used by the paper's algorithm variants."""
+    """BLAS-style kernels used by the algorithm variants."""
 
     GEMM = "gemm"
     SYRK = "syrk"
     SYMM = "symm"
+    ADD = "add"
+    TRSM = "trsm"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -29,7 +34,15 @@ class KernelName(enum.Enum):
 #: GEMM(m, n, k): C[m,n] += A[m,k] B[k,n]
 #: SYRK(n, k):    C[n,n] += A[n,k] A[n,k]^T   (triangular result)
 #: SYMM(m, n):    C[m,n] += S[m,m] B[m,n]     (S symmetric)
-KERNEL_ARITY = {KernelName.GEMM: 3, KernelName.SYRK: 2, KernelName.SYMM: 2}
+#: ADD(m, n):     C[m,n] = A[m,n] + B[m,n]    (elementwise, memory-bound)
+#: TRSM(m, n):    X[m,n] = L[m,m]^-1 B[m,n]   (L lower triangular)
+KERNEL_ARITY = {
+    KernelName.GEMM: 3,
+    KernelName.SYRK: 2,
+    KernelName.SYMM: 2,
+    KernelName.ADD: 2,
+    KernelName.TRSM: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -73,6 +86,12 @@ class KernelCall:
         if self.kernel is KernelName.SYRK:
             n, k = d
             return n * k + n * n
+        if self.kernel is KernelName.ADD:
+            m, n = d
+            return m * n + m * n + m * n
+        if self.kernel is KernelName.TRSM:
+            m, n = d
+            return m * m + m * n + m * n
         m, n = d  # SYMM
         return m * m + m * n + m * n
 
@@ -83,7 +102,7 @@ class KernelCall:
             return d[0] * d[1]
         if self.kernel is KernelName.SYRK:
             return d[0] * d[0]
-        return d[0] * d[1]  # SYMM
+        return d[0] * d[1]  # SYMM / ADD / TRSM
 
 
 def _dims_column(value: Any, n: int) -> np.ndarray:
@@ -154,7 +173,10 @@ class KernelCallBatch:
         if self.kernel is KernelName.SYRK:
             n, k = d[:, 0], d[:, 1]
             return n * k + n * n
-        m, n = d[:, 0], d[:, 1]  # SYMM
+        if self.kernel is KernelName.ADD:
+            m, n = d[:, 0], d[:, 1]
+            return m * n + m * n + m * n
+        m, n = d[:, 0], d[:, 1]  # SYMM / TRSM
         return m * m + m * n + m * n
 
     def output_elements(self) -> np.ndarray:
@@ -162,7 +184,7 @@ class KernelCallBatch:
         d = self.dims
         if self.kernel is KernelName.SYRK:
             return d[:, 0] * d[:, 0]
-        return d[:, 0] * d[:, 1]  # GEMM / SYMM
+        return d[:, 0] * d[:, 1]  # GEMM / SYMM / ADD / TRSM
 
 
 def batch_kernel_calls(

@@ -64,6 +64,11 @@ _INTERFERENCE = {
     KernelName.SYRK: 0.15,
     KernelName.SYMM: 0.06,
     KernelName.GEMM: 0.02,
+    # ADD streams its output contiguously, like GEMM's best case.
+    KernelName.ADD: 0.02,
+    # TRSM overwrites B in place column by column — better than a
+    # packed triangle, worse than one contiguous output sweep.
+    KernelName.TRSM: 0.05,
 }
 
 #: Integer tokens folded into measurement ids (stable across runs).
@@ -71,6 +76,8 @@ _KERNEL_TOKEN = {
     KernelName.GEMM: 1,
     KernelName.SYRK: 2,
     KernelName.SYMM: 3,
+    KernelName.ADD: 4,
+    KernelName.TRSM: 5,
 }
 
 #: Noise-stream context for isolated kernel benchmarks — separate

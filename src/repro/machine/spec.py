@@ -100,6 +100,36 @@ def xeon_silver_4210_like() -> MachineSpec:
             variant_boundaries=((0, 640, 0.84),),
             parallel_dim=0,
         ),
+        # ADD is memory-bound: one FLOP per three streamed elements
+        # caps it at a few percent of the FLOP peak, with bandwidth
+        # saturating at small sizes already (short ramps, no blocked
+        # variants).  The tiny plateau is what makes an ADD call's
+        # *time* non-negligible despite its negligible FLOP count.
+        KernelName.ADD: KernelPerf(
+            plateau=0.035,
+            ramps=(25.0, 25.0),
+            exponents=(1.0, 1.0),
+            ramp_mode="product",
+            variant_boundaries=(),
+            parallel_dim=0,
+        ),
+        # TRSM parallelises over the columns of B (dim 1) and runs a
+        # sequential substitution along the triangular extent, so a
+        # small right-hand-side count collapses efficiency the way a
+        # small symmetric extent collapses SYRK/SYMM (quadratic
+        # exponent, like SYRK).  Below ~110 columns the collapse is
+        # superlinear — a 25-column solve takes *longer* than a
+        # 100-column one — which is what makes the FLOP-cheapest
+        # solve<k> plans (they solve at the narrowest chain boundary)
+        # anomaly-prone, ~2% quick-scale abundance.
+        KernelName.TRSM: KernelPerf(
+            plateau=0.82,
+            ramps=(140.0, 110.0),
+            exponents=(1.0, 2.0),
+            ramp_mode="min",
+            variant_boundaries=((0, 512, 0.85),),
+            parallel_dim=1,
+        ),
     }
     return MachineSpec(
         name="xeon-silver-4210-like",

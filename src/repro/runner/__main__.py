@@ -55,6 +55,18 @@ def _validated_expression(name: str) -> str:
     return name
 
 
+def _validated_store(kind: str) -> str:
+    """Store-backend names get the same up-front treatment as
+    expression/scale/box names: a typo is a usage error here, not a
+    per-study failure from inside a worker process."""
+    normalized = kind.strip().lower()
+    if normalized not in STORE_KINDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown store {kind!r}; known: {'/'.join(STORE_KINDS)}"
+        )
+    return normalized
+
+
 def _parse_extra(raw: str) -> StudyKey:
     parts = raw.split(":")
     if len(parts) not in (3, 4):
@@ -140,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--store",
+        type=_validated_store,
         default=STORE_KINDS[0],
-        choices=STORE_KINDS,
+        metavar="{" + ",".join(STORE_KINDS) + "}",
         help="study-store backend shared by all workers (default: json)",
     )
     parser.add_argument(

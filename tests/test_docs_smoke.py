@@ -1,0 +1,98 @@
+"""Docs can't rot: fenced examples in README/docs must execute.
+
+Runs ``tools/docs_smoke.py`` — the same entry point CI's ``docs`` job
+uses — plus unit checks of the block extractor itself.  The end-to-end
+run skips under ``REPRO_SKIP_DOCS_E2E=1`` so CI's test job doesn't
+execute every block a second time alongside the dedicated docs job.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "docs_smoke.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from docs_smoke import extract_blocks, runnable  # noqa: E402
+
+
+def test_extractor_finds_languages_and_line_numbers(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "intro\n"
+        "```python\nprint('hi')\n```\n"
+        "prose\n"
+        "```sh\necho illustrative\n```\n"
+        "```bash\necho run me\n```\n"
+        "```python no-run\nraise SystemExit(1)\n```\n"
+    )
+    blocks = extract_blocks(doc)
+    assert [(b.language, b.line) for b in blocks] == [
+        ("python", 2),
+        ("sh", 6),
+        ("bash", 9),
+        ("python no-run", 12),
+    ]
+    assert [runnable(b) for b in blocks] == [True, False, True, False]
+
+
+def test_docs_have_runnable_blocks():
+    # The docs tree must keep executable examples: at least one
+    # runnable block in the compiler walkthrough and the CLI guide.
+    for name in ("compiler.md", "cli.md", "adding-a-kernel.md"):
+        blocks = extract_blocks(REPO_ROOT / "docs" / name)
+        assert any(runnable(b) for b in blocks), name
+
+
+def test_unclosed_fence_is_an_error(tmp_path):
+    # A stray ``` would otherwise flip open/closed parity and silently
+    # swallow every later block.
+    doc = tmp_path / "doc.md"
+    doc.write_text("```python\nprint('never closed')\n")
+    with pytest.raises(ValueError, match="never closed"):
+        extract_blocks(doc)
+    result = subprocess.run(
+        [sys.executable, str(TOOL), str(doc)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    assert "never closed" in result.stdout
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_DOCS_E2E") == "1",
+    reason="covered by the dedicated docs-smoke CI job",
+)
+def test_docs_smoke_tool_passes_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(TOOL)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 failure(s)" in result.stdout
+
+
+def test_docs_smoke_tool_catches_a_broken_block(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\nraise RuntimeError('rotted example')\n```\n")
+    result = subprocess.run(
+        [sys.executable, str(TOOL), str(bad)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    assert "FAILED" in result.stdout
+    assert "rotted example" in result.stdout

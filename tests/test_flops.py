@@ -5,7 +5,14 @@ import pytest
 from repro.expressions.chain import optimal_parenthesisation
 from repro.expressions.registry import get_expression
 from repro.expressions.trees import tree_name
-from repro.kernels.flops import gemm_flops, kernel_flops, symm_flops, syrk_flops
+from repro.kernels.flops import (
+    add_flops,
+    gemm_flops,
+    kernel_flops,
+    symm_flops,
+    syrk_flops,
+    trsm_flops,
+)
 from repro.kernels.types import KernelName
 
 # Chain boundary dims (A: 2x3, B: 3x5, C: 5x7, D: 7x11) — small primes
@@ -31,7 +38,23 @@ def test_kernel_flop_formulas():
     assert gemm_flops(2, 5, 3) == 60
     assert syrk_flops(3, 5) == 3 * 4 * 5 == 60
     assert symm_flops(3, 7) == 2 * 9 * 7 == 126
+    assert add_flops(3, 7) == 21
+    assert trsm_flops(3, 7) == 9 * 7 == 63
     assert kernel_flops(KernelName.GEMM, (4, 4, 4)) == 128
+    assert kernel_flops(KernelName.ADD, (4, 4)) == 16
+    assert kernel_flops(KernelName.TRSM, (4, 5)) == 80
+
+
+def test_add_trsm_batch_flops_match_scalar():
+    import numpy as np
+
+    from repro.kernels.flops import kernel_flops_batch
+
+    dims = np.array([[3, 7], [20, 1200], [555, 123]], dtype=np.int64)
+    for kernel in (KernelName.ADD, KernelName.TRSM):
+        batch = kernel_flops_batch(kernel, dims)
+        scalar = [kernel_flops(kernel, tuple(row)) for row in dims]
+        assert batch.tolist() == scalar
 
 
 def test_chain4_has_six_plans_over_five_trees():

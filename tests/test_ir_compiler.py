@@ -21,6 +21,7 @@ from repro.expressions.compiler import (
     default_plan_namer,
 )
 from repro.expressions.ir import (
+    AddExpr,
     Leaf,
     ProductExpr,
     SumExpr,
@@ -34,7 +35,9 @@ from repro.kernels.flops import kernel_flops
 from repro.kernels.types import KernelName
 
 #: Every registered family (the compiler-generated ones included).
-REGISTERED = ("chain4", "aatb", "gram3", "tri4", "sum3")
+REGISTERED = (
+    "chain4", "aatb", "gram3", "tri4", "sum3", "addchain3", "solve3"
+)
 
 
 # ----------------------------------------------------------------------
@@ -292,9 +295,9 @@ def test_gram3_mirrors_aatb_structure():
     assert copied[0].note == "then copy to full"
 
 
-@pytest.mark.parametrize("name", ("gram3", "tri4", "sum3"))
+@pytest.mark.parametrize("name", ("gram3", "tri4", "sum3", "addchain3", "solve3"))
 def test_new_families_classify_end_to_end(name):
-    """ISSUE-4 acceptance: every generated family is classifiable and
+    """ISSUE-4/5 acceptance: every generated family is classifiable and
     anomaly-bearing at quick scale (full pipeline, paper machine)."""
     from repro.figures.common import FigureConfig, compute_study_results
 
@@ -312,3 +315,118 @@ def test_expr_n_dims_and_plan_dims_are_indices():
     for plan in expression.plans():
         for step in plan.steps:
             assert all(0 <= i < 6 for i in step.dims)
+
+
+# ----------------------------------------------------------------------
+# ADD / TRSM lowering (ISSUE 5)
+# ----------------------------------------------------------------------
+
+
+def test_add_factor_materialises_before_its_consumer():
+    # A (B + C): the ADD call lands immediately before the GEMM that
+    # consumes it, and the GEMM reads its freshly-written output.
+    expression = get_expression("addchain2")
+    (algorithm,) = expression.algorithms()
+    calls = algorithm.kernel_calls((3, 5, 7))
+    assert [(c.kernel.value, c.dims) for c in calls] == [
+        ("add", (5, 7)),
+        ("gemm", (3, 7, 5)),
+    ]
+    assert not calls[0].reads_previous
+    assert calls[1].reads_previous
+    # FLOPs: one elementwise add + one GEMM, exactly.
+    assert int(algorithm.flops((3, 5, 7))) == 5 * 7 + 2 * 3 * 7 * 5
+
+
+def test_add_factor_repeated_across_terms_is_summed_once():
+    # (B+C) appears in both terms: one ADD, two GEMM-consumers.
+    add = AddExpr(
+        (
+            Leaf(operand=1, rows=1, cols=2, label="B"),
+            Leaf(operand=2, rows=1, cols=2, label="C"),
+        )
+    )
+    term1 = ProductExpr((Leaf(operand=0, rows=0, cols=1, label="A"), add))
+    term2 = ProductExpr((Leaf(operand=3, rows=0, cols=1, label="D"), add))
+    expr = _compiled("shared", SumExpr((term1, term2)))
+    (algorithm,) = expr.algorithms()
+    kernels = [c.kernel for c in algorithm.kernel_calls((3, 5, 7))]
+    assert kernels == [KernelName.ADD, KernelName.GEMM, KernelName.GEMM]
+    rng = np.random.default_rng(5)
+    operands = expr.make_operands((4, 5, 6), rng)
+    np.testing.assert_allclose(
+        algorithm.execute(operands), expr.reference(operands),
+        rtol=1e-10, atol=1e-9,
+    )
+
+
+def test_standalone_add_expression_lowers_to_add_chain():
+    expr = _compiled(
+        "matsum",
+        AddExpr(
+            tuple(
+                Leaf(operand=i, rows=0, cols=1, label="ABC"[i])
+                for i in range(3)
+            )
+        ),
+    )
+    (algorithm,) = expr.algorithms()
+    calls = algorithm.kernel_calls((4, 6))
+    assert [c.kernel for c in calls] == [KernelName.ADD, KernelName.ADD]
+    assert calls[1].reads_previous
+    assert int(algorithm.flops((4, 6))) == 2 * 4 * 6
+    operands = expr.make_operands((5, 3), np.random.default_rng(1))
+    np.testing.assert_allclose(
+        algorithm.execute(operands), expr.reference(operands),
+        rtol=1e-10, atol=1e-9,
+    )
+
+
+def test_add_expr_validation():
+    a = Leaf(operand=0, rows=0, cols=1, label="A")
+    with pytest.raises(ValueError, match="two leaves"):
+        AddExpr((a,))
+    with pytest.raises(ValueError, match="share a shape"):
+        AddExpr((a, Leaf(operand=1, rows=1, cols=2, label="B")))
+    with pytest.raises(ValueError, match="summand"):
+        AddExpr(
+            (
+                Leaf(operand=0, rows=0, cols=0, triangular=True),
+                Leaf(operand=1, rows=0, cols=0),
+            )
+        )
+
+
+def test_triangular_leaf_validation():
+    with pytest.raises(ValueError, match="square"):
+        Leaf(operand=0, rows=0, cols=1, triangular=True)
+    with pytest.raises(ValueError, match="transposed or symmetric"):
+        Leaf(operand=0, rows=0, cols=0, triangular=True, transposed=True)
+    # A triangular-inverse leaf must lead its product.
+    with pytest.raises(ValueError, match="first factor"):
+        ProductExpr(
+            (
+                Leaf(operand=0, rows=0, cols=0, label="A"),
+                Leaf(operand=1, rows=0, cols=0, triangular=True, label="L"),
+            )
+        )
+
+
+def test_solve_family_lowers_to_trsm_at_every_boundary():
+    # solve3: the two trees solve at different boundaries, so the TRSM
+    # right-hand-side count — and the FLOP count — differ per plan.
+    expression = get_expression("solve3")
+    calls = {
+        a.name: [
+            (c.kernel.value, c.dims) for c in a.kernel_calls((3, 5, 7))
+        ]
+        for a in expression.algorithms()
+    }
+    assert calls["solve3-1:inv(L)(AB)"] == [
+        ("gemm", (3, 7, 5)), ("trsm", (3, 7)),
+    ]
+    assert calls["solve3-2:(inv(L)A)B"] == [
+        ("trsm", (3, 5)), ("gemm", (3, 7, 5)),
+    ]
+    # TRSM has no kernel variant: one plan per tree.
+    assert len(expression.algorithms()) == 2

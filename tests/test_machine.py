@@ -43,8 +43,24 @@ def test_efficiency_is_within_unit_interval():
         (KernelName.GEMM, (1200, 1200, 1200)),
         (KernelName.SYRK, (640, 1024)),
         (KernelName.SYMM, (333, 77)),
+        (KernelName.ADD, (333, 77)),
+        (KernelName.TRSM, (640, 1024)),
     ):
         assert 0.0 < machine.efficiency(kernel, dims) < 1.0
+
+
+def test_add_is_memory_bound_and_trsm_collapses_at_few_rhs():
+    machine = paper_machine(seed=0)
+    # ADD plateaus at a few percent of peak: memory-bound.
+    assert machine.efficiency(KernelName.ADD, (1200, 1200)) < 0.05
+    # TRSM with few right-hand sides is *slower in absolute time*
+    # than with moderately many — the superlinear small-n collapse
+    # that makes solve<k>'s FLOP-cheapest plans anomaly-prone.
+    few = machine.kernel_seconds(KernelName.TRSM, (800, 25))
+    more = machine.kernel_seconds(KernelName.TRSM, (800, 100))
+    assert few > more
+    # At large n the collapse is over and time grows with work again.
+    assert machine.kernel_seconds(KernelName.TRSM, (800, 900)) > few
 
 
 def test_variant_dispatch_flag_removes_the_cliff():

@@ -1,0 +1,152 @@
+"""Cost-guided pruning invariants (ISSUE 5 spec).
+
+Two properties pin the pruning pass:
+
+* the pruned plan set is a *prefix* of the stable cost-ranked full
+  enumeration (costs evaluated at the configured centroid, ties broken
+  to enumeration order) — pruning may only cut the tail, never reorder
+  or invent plans;
+* with pruning off (the default), compilation is bit-for-bit the
+  pre-pruning compiler — the sha256-pinned ``chain<k>``/``aatb`` study
+  payloads in ``tests/test_compiled_equivalence.py`` stay valid, and a
+  budget at or above the tree count is a no-op.
+"""
+
+import pytest
+
+from repro.expressions.compiler import (
+    PruneConfig,
+    compile_product_plans,
+    compile_sum_plans,
+)
+from repro.expressions.ir import ProductExpr, chain_leaves
+from repro.expressions.registry import get_expression
+
+
+def _plan_key(plan):
+    """Identity of a plan: name-determining fields plus its steps."""
+    return (plan.tree_index, plan.tree_label, plan.schedule, plan.steps)
+
+
+def _cost_ranked(plans, centroid):
+    """Stable cost rank of a full enumeration, grouped by tree.
+
+    The budget counts trees/combinations, so ranking happens on tree
+    groups: each group's cost is its plans' FLOPs at the centroid
+    (identical across a GEMM-only tree's schedules), ties break to
+    enumeration order.
+    """
+    groups = []
+    for plan in plans:
+        if groups and groups[-1][0] == plan.tree_index:
+            groups[-1][1].append(plan)
+        else:
+            groups.append((plan.tree_index, [plan]))
+    ranked = sorted(
+        range(len(groups)),
+        key=lambda g: (float(groups[g][1][0].flops(centroid)), g),
+    )
+    return [groups[g][1] for g in ranked]
+
+
+#: A centroid with distinct per-dim sizes, so tree costs actually
+#: differ (at the default all-equal centroid every chain tree ties).
+CHAIN5_CENTROID = (400, 60, 900, 150, 700, 300)
+
+
+def test_pruned_product_plans_are_a_prefix_of_the_cost_ranking():
+    product = ProductExpr(chain_leaves(list(range(6))))  # chain5, 14 trees
+    full = compile_product_plans("chain5", product)
+    ranked_groups = _cost_ranked(full, CHAIN5_CENTROID)
+    for budget in (1, 3, 7, 13):
+        pruned = compile_product_plans(
+            "chain5",
+            product,
+            prune=PruneConfig(budget=budget, centroid=CHAIN5_CENTROID),
+        )
+        expected = [
+            plan for group in ranked_groups[:budget] for plan in group
+        ]
+        assert [_plan_key(p) for p in pruned] == [
+            _plan_key(p) for p in expected
+        ]
+
+
+def test_pruned_sum_plans_are_a_prefix_of_the_cost_ranking():
+    sum_ir = get_expression("sum4").ir  # 5 x 5 tree combinations
+    centroid = (500, 80, 900, 200, 350, 60, 750, 130)
+    full = compile_sum_plans("sum4", sum_ir)
+    assert len(full) == 25
+    ranked_groups = _cost_ranked(full, centroid)
+    for budget in (1, 6, 24):
+        pruned = compile_sum_plans(
+            "sum4",
+            sum_ir,
+            prune=PruneConfig(budget=budget, centroid=centroid),
+        )
+        expected = [
+            plan for group in ranked_groups[:budget] for plan in group
+        ]
+        assert [_plan_key(p) for p in pruned] == [
+            _plan_key(p) for p in expected
+        ]
+
+
+def test_budget_at_or_above_tree_count_is_a_noop():
+    product = ProductExpr(chain_leaves(list(range(5))))  # chain4, 5 trees
+    full = compile_product_plans("chain4", product)
+    for budget in (5, 50):
+        same = compile_product_plans(
+            "chain4", product, prune=PruneConfig(budget=budget)
+        )
+        assert [_plan_key(p) for p in same] == [_plan_key(p) for p in full]
+
+
+def test_pruning_off_by_default_for_pinned_families():
+    # The byte-identity of the chain4/aatb study payloads (sha256-
+    # pinned in test_compiled_equivalence.py) rests on these families
+    # never compiling under a prune budget.
+    assert get_expression("chain4").prune is None
+    assert get_expression("aatb").prune is None
+    assert get_expression("sum5").prune is None  # previously reachable
+    assert get_expression("sum6").prune is not None  # cap-lifting range
+
+
+def test_pruned_names_keep_full_enumeration_indices():
+    # Plan names embed the tree/combination index of the *full*
+    # enumeration, so a plan keeps its identity whatever the budget.
+    product = ProductExpr(chain_leaves(list(range(6))))
+    pruned = compile_product_plans(
+        "chain5",
+        product,
+        prune=PruneConfig(budget=2, centroid=CHAIN5_CENTROID),
+    )
+    full = compile_product_plans("chain5", product)
+    full_keys = {_plan_key(p) for p in full}
+    assert all(_plan_key(p) in full_keys for p in pruned)
+
+
+def test_prune_config_validation():
+    with pytest.raises(ValueError, match="budget"):
+        PruneConfig(budget=0)
+    with pytest.raises(ValueError, match="centroid"):
+        PruneConfig(budget=2, centroid=(10, 20)).resolve_centroid(3)
+    # Default probe: staggered across the paper box, every dim
+    # distinct — at an all-equal point every chain tree would tie and
+    # the "cost ranking" would collapse to enumeration order.
+    probe = PruneConfig(budget=2).resolve_centroid(12)
+    assert len(set(probe)) == 12
+    assert all(20 <= value <= 1200 for value in probe)
+
+
+def test_default_probe_ranking_is_not_an_enumeration_prefix():
+    # The production use: sum<k> beyond the exact range.  With the
+    # staggered default probe the kept combinations must differ from
+    # the first-64 enumeration prefix (i.e. pruning actually ranks by
+    # cost) and must vary the *first* term's association too.
+    sum6 = get_expression("sum6")
+    kept = [plan.tree_index for plan in sum6.plans()]
+    assert len(kept) == len(set(kept)) == 64
+    assert kept != list(range(64))  # not the degenerate all-ties prefix
+    first_term_trees = {index // 42 for index in kept}  # 42 trees/term
+    assert len(first_term_trees) > 2

@@ -10,7 +10,9 @@ from repro.expressions.registry import (
 
 
 def test_round_trip_known_names():
-    for name in ("chain4", "aatb", "gram3", "tri4", "sum3"):
+    for name in (
+        "chain4", "aatb", "gram3", "tri4", "sum3", "addchain3", "solve3"
+    ):
         expression = get_expression(name)
         assert expression.name == name
         assert expression.algorithms()
@@ -23,6 +25,8 @@ def test_expected_dimensionalities():
     assert get_expression("gram3").n_dims == 3
     assert get_expression("tri4").n_dims == 5
     assert get_expression("sum3").n_dims == 6
+    assert get_expression("addchain3").n_dims == 4
+    assert get_expression("solve3").n_dims == 3
 
 
 def test_unknown_name_raises_with_known_list():
@@ -44,7 +48,10 @@ def test_chain_names_materialise_on_demand():
 
 
 def test_algorithm_names_are_unique_per_expression():
-    for name in ("chain4", "aatb", "chain5", "gram4", "tri5", "sum2"):
+    for name in (
+        "chain4", "aatb", "chain5", "gram4", "tri5", "sum2",
+        "addchain4", "solve4",
+    ):
         algorithms = get_expression(name).algorithms()
         names = [a.name for a in algorithms]
         assert len(names) == len(set(names))
@@ -59,19 +66,40 @@ def test_pattern_families_materialise_on_demand():
     # sum<k>: two k-chains, Catalan(k-1)^2 tree combinations.
     assert len(get_expression("sum2").algorithms()) == 1
     assert len(get_expression("sum3").algorithms()) == 4
+    # addchain/solve<k> are chain-shaped: Catalan(k-1) trees.
+    assert len(get_expression("addchain2").algorithms()) == 1
+    assert len(get_expression("solve2").algorithms()) == 1
+    assert len(get_expression("solve4").algorithms()) == 6
+
+
+def test_sum_cap_lifted_by_pruning():
+    # sum6..8 exceeded the old k <= 5 cap; cost-guided pruning caps
+    # the lowered cross-product at the configured budget.
+    from repro.expressions.families import SUM_PRUNE_BUDGET
+
+    sum6 = get_expression("sum6")
+    assert len(sum6.algorithms()) == SUM_PRUNE_BUDGET
+    assert sum6.prune is not None
+    # Previously-reachable k still enumerate exactly (no pruning).
+    assert get_expression("sum5").prune is None
+    assert len(get_expression("sum5").algorithms()) == 14 * 14
 
 
 def test_is_known_expression_answers_without_materialising():
     before = known_expressions()
     assert is_known_expression("gram8")
     assert is_known_expression("chain4")
+    assert is_known_expression("sum8")      # cap lifted via pruning
+    assert is_known_expression("addchain5")
+    assert is_known_expression("solve8")
     assert not is_known_expression("gram2")   # below the family's floor
-    assert not is_known_expression("sum6")    # beyond the plan-count cap
+    assert not is_known_expression("sum9")    # beyond the lifted cap
+    assert not is_known_expression("solve1")
     assert not is_known_expression("nope")
     assert known_expressions() == before  # nothing was registered
 
 
 def test_pattern_caps_raise_key_errors():
-    for name in ("gram2", "sum6", "tri1", "chain9"):
+    for name in ("gram2", "sum9", "tri1", "chain9", "addchain1", "solve9"):
         with pytest.raises(KeyError):
             get_expression(name)

@@ -176,6 +176,33 @@ def test_cli_rejects_malformed_extras(tmp_path, capsys, extra, fragment):
     assert fragment in capsys.readouterr().err
 
 
+def test_cli_rejects_unknown_store_upfront(tmp_path, capsys):
+    # Same validation style as expression/scale/box names: a bad
+    # backend name is a usage error at parse time, never a per-study
+    # failure inside a worker.
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(
+            ["--store", "postgres", "--cache-dir", str(tmp_path)]
+        )
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown store 'postgres'" in err
+    assert "json/sqlite" in err  # the error teaches the valid kinds
+
+
+def test_cli_store_names_are_case_insensitive(tmp_path, capsys):
+    assert (
+        runner_main(
+            [
+                "--list",
+                "--store", "SQLite",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        == 0
+    )
+
+
 def test_cli_rejects_unknown_expressions_option(tmp_path, capsys):
     with pytest.raises(SystemExit) as excinfo:
         runner_main(

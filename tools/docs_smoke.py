@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Docs smoke: extract and run fenced code blocks so examples can't rot.
+
+Scans README.md and docs/*.md for fenced code blocks and executes the
+runnable ones:
+
+* ``` ```python ``` blocks run through the current interpreter with
+  ``PYTHONPATH=src`` and the repository root as the working directory;
+* ``` ```bash ``` blocks run through ``bash -euo pipefail`` with the
+  same environment.
+
+Blocks tagged ``sh``, ``text`` or anything else are treated as
+illustrative and skipped — use those tags for long-running or
+environment-specific commands.  A block whose info string contains
+``no-run`` (e.g. ``` ```python no-run ```) is skipped too.
+
+Exit code 0 when every runnable block succeeds; 1 otherwise, with the
+failing block's source and output echoed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Languages that are executed, and how.
+RUNNERS = {
+    "python": lambda code: [sys.executable, "-c", code],
+    "bash": lambda code: ["bash", "-euo", "pipefail", "-c", code],
+}
+
+_FENCE = re.compile(r"^```(.*?)\s*$")
+
+
+def _tokens(language: str) -> List[str]:
+    return [t for t in re.split(r"[,\s]+", language.strip()) if t]
+
+
+@dataclass(frozen=True)
+class Block:
+    path: Path
+    line: int  # 1-based line of the opening fence
+    language: str
+    code: str
+
+    @property
+    def location(self) -> str:
+        try:
+            shown = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = self.path
+        return f"{shown}:{self.line}"
+
+
+def extract_blocks(path: Path) -> List[Block]:
+    """All fenced blocks of a markdown file, runnable or not.
+
+    Raises ``ValueError`` on an unclosed fence: a stray ``` would flip
+    the open/closed parity and silently swallow every later block —
+    exactly the rot this tool exists to catch.
+    """
+    blocks: List[Block] = []
+    language = None
+    start = 0
+    body: List[str] = []
+    for number, raw in enumerate(path.read_text().splitlines(), 1):
+        match = _FENCE.match(raw.strip())
+        if language is None:
+            if match:
+                language = match.group(1)
+                start = number
+                body = []
+        elif match and not match.group(1):
+            blocks.append(
+                Block(
+                    path=path,
+                    line=start,
+                    language=language,
+                    code="\n".join(body) + "\n",
+                )
+            )
+            language = None
+        else:
+            body.append(raw)
+    if language is not None:
+        raise ValueError(
+            f"{path}: fenced block opened at line {start} is never closed"
+        )
+    return blocks
+
+
+def runnable(block: Block) -> bool:
+    tokens = _tokens(block.language)
+    return bool(tokens) and tokens[0] in RUNNERS and "no-run" not in tokens
+
+
+def run_block(block: Block, timeout: float) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    command = RUNNERS[_tokens(block.language)[0]](block.code)
+    return subprocess.run(
+        command,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def document_paths() -> List[Path]:
+    paths = [REPO_ROOT / "README.md"]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in paths if path.exists()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-block timeout in seconds (default: 120)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the runnable blocks and exit without running",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [p.resolve() for p in args.paths] or document_paths()
+    failures = 0
+    ran = 0
+    for path in paths:
+        try:
+            blocks = extract_blocks(path)
+        except ValueError as exc:
+            failures += 1
+            print(f"FAILED  {exc}")
+            continue
+        for block in blocks:
+            if not runnable(block):
+                continue
+            if args.list:
+                print(f"{block.location} [{block.language}]")
+                continue
+            ran += 1
+            try:
+                result = run_block(block, args.timeout)
+            except subprocess.TimeoutExpired:
+                failures += 1
+                print(f"TIMEOUT {block.location} [{block.language}]")
+                continue
+            if result.returncode == 0:
+                print(f"ok      {block.location} [{block.language}]")
+            else:
+                failures += 1
+                print(f"FAILED  {block.location} [{block.language}]")
+                print("--- block ---")
+                print(block.code, end="")
+                print("--- stdout ---")
+                print(result.stdout, end="")
+                print("--- stderr ---")
+                print(result.stderr, end="")
+    if args.list:
+        return 1 if failures else 0
+    print(f"{ran} block(s) run, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
