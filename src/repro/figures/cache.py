@@ -10,7 +10,7 @@ results can be persisted and reloaded across processes.  With
 experiment pipeline.
 
 Persistence goes through the pluggable :class:`StudyStore` interface
-with two backends (pick with ``REPRO_CACHE_STORE``):
+with three backends (pick with ``REPRO_CACHE_STORE``):
 
 * :class:`JsonDirectoryStore` (``json``, the default) — one versioned
   JSON file per study.  Writes are atomic (temp file + ``os.replace``),
@@ -22,6 +22,18 @@ with two backends (pick with ``REPRO_CACHE_STORE``):
   :class:`repro.runner.StudyRunner` workers shares it without
   per-file races: readers never block, writers serialize on SQLite's
   write lock with a generous busy timeout.
+* :class:`repro.service.remote.RemoteStudyStore` (``remote``) — a
+  keyed read-through client speaking a length-prefixed TCP protocol to
+  a store server process (``python -m repro.service.store_server``),
+  so machines that do not share a filesystem can share one store.  The
+  "directory" for this kind is the server address, ``host:port``.
+
+Backends register in a factory table (:func:`register_store_kind`);
+``remote`` loads lazily so the json/sqlite fast path never imports the
+service layer.  Every backend moves *canonical payload text* — the
+base class implements ``load``/``save`` on top of ``load_text``/
+``save_text`` plus the shared codec — which is what keeps payloads
+byte-identical whichever backend (or network hop) carried them.
 
 The schema version participates in the store location (filename /
 database name) and the payload: bump :data:`SCHEMA_VERSION` whenever
@@ -40,13 +52,14 @@ unwritable store degrades to a no-op rather than failing the pipeline.
 
 from __future__ import annotations
 
+import importlib
 import json
 import os
 import sqlite3
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.confusion import ConfusionMatrix
 from repro.core.classify import Verdict
@@ -65,8 +78,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment variable selecting the store backend (``json`` default).
 CACHE_STORE_ENV = "REPRO_CACHE_STORE"
 
-#: Valid values of :data:`CACHE_STORE_ENV`.
-STORE_KINDS = ("json", "sqlite")
+#: Store kinds whose target is a local directory.
+LOCAL_STORE_KINDS = ("json", "sqlite")
+
+#: Valid values of :data:`CACHE_STORE_ENV`.  ``remote`` targets a
+#: ``host:port`` store server instead of a directory.
+STORE_KINDS = ("json", "sqlite", "remote")
 
 
 @dataclass(frozen=True, order=True)
@@ -329,12 +346,27 @@ class StudyStore:
     same key leave exactly one valid payload behind.  All operations
     are best-effort — storage failures degrade to cache misses, never
     to pipeline errors.
+
+    Backends implement the *text* primitives (``load_text`` /
+    ``save_text``); ``load``/``save`` are the canonical codec layered
+    on top.  Moving payloads as opaque canonical text is what lets the
+    remote backend relay them byte-identically through a server whose
+    own backing store is a plain json/sqlite store.
     """
 
     kind: str = ""
 
-    def load(self, key: StudyKey) -> Optional[dict]:
+    def load_text(self, key: StudyKey) -> Optional[str]:
+        """The stored canonical payload text, or None on a miss."""
         raise NotImplementedError
+
+    def save_text(self, key: StudyKey, text: str) -> None:
+        """Persist canonical payload text (best-effort)."""
+        raise NotImplementedError
+
+    def load(self, key: StudyKey) -> Optional[dict]:
+        text = self.load_text(key)
+        return None if text is None else decode_study(text, key)
 
     def save(
         self,
@@ -344,7 +376,13 @@ class StudyStore:
         prediction: Prediction,
         confusion: ConfusionMatrix,
     ) -> None:
-        raise NotImplementedError
+        self.save_text(
+            key, encode_study(key, search, regions, prediction, confusion)
+        )
+
+    def raw_payload(self, key: StudyKey) -> Optional[str]:
+        """The stored text for a key (testing / equality checks)."""
+        return self.load_text(key)
 
     def close(self) -> None:
         pass
@@ -373,15 +411,13 @@ class JsonDirectoryStore(StudyStore):
     def path_for(self, key: StudyKey) -> Path:
         return study_path(self.root, key)
 
-    def load(self, key: StudyKey) -> Optional[dict]:
+    def load_text(self, key: StudyKey) -> Optional[str]:
         try:
-            text = self.path_for(key).read_text()
+            return self.path_for(key).read_text()
         except (OSError, UnicodeDecodeError):
             return None
-        return decode_study(text, key)
 
-    def save(self, key, search, regions, prediction, confusion) -> None:
-        text = encode_study(key, search, regions, prediction, confusion)
+    def save_text(self, key: StudyKey, text: str) -> None:
         path = self.path_for(key)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -442,12 +478,7 @@ class SqliteStudyStore(StudyStore):
         self._conn = conn
         return conn
 
-    def load(self, key: StudyKey) -> Optional[dict]:
-        text = self.raw_payload(key)
-        return None if text is None else decode_study(text, key)
-
-    def raw_payload(self, key: StudyKey) -> Optional[str]:
-        """The stored text for a key (testing / equality checks)."""
+    def load_text(self, key: StudyKey) -> Optional[str]:
         conn = self._connect()
         if conn is None:
             return None
@@ -459,11 +490,10 @@ class SqliteStudyStore(StudyStore):
             return None
         return None if row is None else row[0]
 
-    def save(self, key, search, regions, prediction, confusion) -> None:
+    def save_text(self, key: StudyKey, text: str) -> None:
         conn = self._connect()
         if conn is None:
             return
-        text = encode_study(key, search, regions, prediction, confusion)
         try:
             with conn:
                 conn.execute(
@@ -482,15 +512,40 @@ class SqliteStudyStore(StudyStore):
                 self._conn = None
 
 
-def make_store(kind: str, cache_dir: Path) -> StudyStore:
-    """Instantiate a store backend by name over a cache directory."""
-    if kind == "json":
-        return JsonDirectoryStore(Path(cache_dir))
-    if kind == "sqlite":
-        return SqliteStudyStore(Path(cache_dir))
-    raise ValueError(
-        f"unknown store kind {kind!r}; known: {'/'.join(STORE_KINDS)}"
-    )
+#: kind → factory over the store target (a directory path, or
+#: ``host:port`` for the remote backend).
+_STORE_FACTORIES: Dict[str, Callable[[Union[str, Path]], StudyStore]] = {}
+
+#: Kinds whose factory registers on first use, so importing the cache
+#: layer never drags in the module that provides them.
+_LAZY_STORE_MODULES = {"remote": "repro.service.remote"}
+
+
+def register_store_kind(
+    kind: str, factory: Callable[[Union[str, Path]], StudyStore]
+) -> None:
+    """Register a store backend factory under a kind name."""
+    _STORE_FACTORIES[kind] = factory
+
+
+register_store_kind("json", lambda target: JsonDirectoryStore(Path(target)))
+register_store_kind("sqlite", lambda target: SqliteStudyStore(Path(target)))
+
+
+def make_store(kind: str, cache_dir: Union[str, Path]) -> StudyStore:
+    """Instantiate a store backend by name over its target.
+
+    The target is a cache directory for the local kinds and a
+    ``host:port`` address for ``remote``.
+    """
+    if kind not in _STORE_FACTORIES and kind in _LAZY_STORE_MODULES:
+        importlib.import_module(_LAZY_STORE_MODULES[kind])
+    factory = _STORE_FACTORIES.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown store kind {kind!r}; known: {'/'.join(STORE_KINDS)}"
+        )
+    return factory(cache_dir)
 
 
 def store_from_env() -> Optional[StudyStore]:

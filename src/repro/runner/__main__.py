@@ -101,11 +101,34 @@ def _parse_extra(raw: str) -> StudyKey:
 
 def _parse_seeds(raw: str) -> List[int]:
     try:
-        return [int(part) for part in raw.split(",") if part.strip()]
+        seeds = [int(part) for part in raw.split(",") if part.strip()]
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"--seeds takes comma-separated integers, got {raw!r}"
         ) from None
+    if not seeds:
+        # An all-blank value would silently produce an empty matrix
+        # and a successful "0 studies" run.
+        raise argparse.ArgumentTypeError(
+            f"--seeds needs at least one integer, got {raw!r}"
+        )
+    return seeds
+
+
+def _positive_jobs(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs takes a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        # Usage error here, not a raw ValueError traceback from
+        # StudyRunner.__post_init__.
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_jobs,
         default=1,
         help="worker processes (default: 1 = sequential in-process)",
     )
@@ -160,7 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help=f"store directory (default: ${CACHE_DIR_ENV})",
+        help=f"store directory, or host:port with --store remote "
+        f"(default: ${CACHE_DIR_ENV})",
     )
     parser.add_argument(
         "--extra",

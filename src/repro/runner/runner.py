@@ -13,16 +13,32 @@ sequential run of the same matrix leave byte-identical payloads in the
 store, whatever the partitioning or completion order.
 
 Failures are contained per study: a worker returns a ``failed``
-outcome with the error message instead of poisoning the pool.
+outcome with the error message instead of poisoning the pool.  Two
+further hardening layers on top of that:
+
+* a store *load* error (corrupted row, unreadable database) falls back
+  to recomputation — loads are best-effort per the
+  :mod:`repro.figures.cache` contract, so a broken cache entry must
+  never fail an otherwise-computable study.  The load error is
+  surfaced on the outcome's ``error`` field next to its non-failed
+  status.
+* a worker process dying outright (OOM kill, segfault) breaks the
+  whole ``ProcessPoolExecutor``; :meth:`StudyRunner.run` catches the
+  resulting ``BrokenProcessPool`` instead of losing the run.  Keys
+  whose results already reached the store are recognised by the
+  sequential retry's store probe (they come back ``cached``); only the
+  genuinely missing keys recompute, in-process, where a crash is
+  attributable to its study.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.figures.cache import StudyKey, make_store
 from repro.figures.common import FigureConfig, compute_study_results
@@ -111,16 +127,30 @@ def run_study(key: StudyKey, store_kind: str, cache_dir: str) -> StudyOutcome:
     indistinguishable byte-for-byte.
     """
     start = time.perf_counter()
+    load_error = ""
     try:
         with make_store(store_kind, Path(cache_dir)) as store:
-            if store.load(key) is not None:
+            try:
+                loaded = store.load(key)
+            except Exception as exc:
+                # Loads are best-effort (see repro.figures.cache): a
+                # corrupted entry or unreadable database is a cache
+                # miss with a note, never a lost study.
+                loaded = None
+                load_error = (
+                    f"store load failed, recomputed "
+                    f"({type(exc).__name__}: {exc})"
+                )
+            if loaded is not None:
                 return StudyOutcome(
                     key, "cached", time.perf_counter() - start
                 )
             config = FigureConfig(scale=key.scale, seed=key.seed, box=key.box)
             results = compute_study_results(config, key.expression)
             store.save(key, *results)
-        return StudyOutcome(key, "computed", time.perf_counter() - start)
+        return StudyOutcome(
+            key, "computed", time.perf_counter() - start, error=load_error
+        )
     except Exception as exc:  # contained per study
         return StudyOutcome(
             key,
@@ -160,9 +190,7 @@ class StudyRunner:
         if self.jobs == 1 or len(keys) <= 1:
             outcomes = tuple(_run_study_args(a) for a in args)
         else:
-            workers = min(self.jobs, len(keys))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = tuple(pool.map(_run_study_args, args))
+            outcomes = self._run_parallel(args)
         return RunReport(
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - start,
@@ -170,3 +198,40 @@ class StudyRunner:
             store_kind=self.store,
             cache_dir=str(self.cache_dir),
         )
+
+    def _run_parallel(
+        self, args: Sequence[Tuple[StudyKey, str, str]]
+    ) -> Tuple[StudyOutcome, ...]:
+        """Fan out across a process pool, surviving worker crashes.
+
+        A worker dying outright (OOM kill, segfault) poisons the whole
+        ``ProcessPoolExecutor``: every pending future raises
+        ``BrokenProcessPool`` and, without handling, the completed
+        studies' outcomes would be lost with it.  Completed results are
+        never actually lost — workers communicate through the store —
+        so each broken key is retried sequentially via
+        :func:`run_study`, whose store probe reports the survivors as
+        ``cached`` and recomputes only the genuinely missing keys.
+        """
+        results: Dict[StudyKey, StudyOutcome] = {}
+        try:
+            workers = min(self.jobs, len(args))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (a[0], pool.submit(_run_study_args, a)) for a in args
+                ]
+                for key, future in futures:
+                    try:
+                        results[key] = future.result()
+                    except BrokenProcessPool:
+                        pass  # retried sequentially below
+        except BrokenProcessPool:
+            pass  # the pool can also break during submission or shutdown
+        for key, store_kind, cache_dir in args:
+            if key in results:
+                continue
+            outcome = run_study(key, store_kind, cache_dir)
+            note = "retried sequentially after worker pool broke"
+            error = f"{outcome.error}; {note}" if outcome.error else note
+            results[key] = replace(outcome, error=error)
+        return tuple(results[a[0]] for a in args)

@@ -1,0 +1,294 @@
+"""A minimal asyncio HTTP/1.1 front end for the selection engine.
+
+Stdlib only — ``asyncio.start_server`` plus a small HTTP/1.1 request
+parser (request line, headers, ``Content-Length`` body, keep-alive).
+Every response is JSON.  Routes:
+
+* ``POST /select`` — ``{"expression", "dims", ["discriminant"],
+  ["annotate"]}`` → one selection, answered through the micro-batcher
+  (concurrent requests for the same expression coalesce into a single
+  ``select_batch`` call).
+* ``POST /select_batch`` — ``{"expression", "dims": [[...], ...],
+  ["discriminant"], ["annotate"]}`` → many selections in one round
+  trip, bypassing the batcher (the request *is* the batch).
+* ``GET /stats`` — LRU hit/miss counters, batching counters, request
+  counters, engine configuration.
+* ``GET /healthz`` — liveness probe.
+
+Client errors (unknown expression/discriminant, malformed dims or
+JSON) are HTTP 400 with ``{"error": ...}``; unexpected failures are
+logged and answered 500 without tearing down the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import Optional, Tuple
+
+from repro.service.batching import SelectionBatcher
+from repro.service.engine import SelectionEngine, SelectionError
+
+log = logging.getLogger("repro.service")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Largest accepted request body.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request line / header line.
+_MAX_LINE_BYTES = 16 << 10
+
+
+class _BadRequest(Exception):
+    """Unparseable HTTP; answered once, then the connection closes."""
+
+
+class SelectionService:
+    """The HTTP server: engine + batcher behind ``asyncio.start_server``."""
+
+    def __init__(
+        self,
+        engine: SelectionEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 1024,
+    ) -> None:
+        self.engine = engine
+        self.batcher = SelectionBatcher(engine, max_batch=max_batch)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.monotonic()
+        self.request_counts = {
+            "select": 0,
+            "select_batch": 0,
+            "stats": 0,
+            "health": 0,
+            "errors": 0,
+        }
+
+    async def start(self) -> "SelectionService":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 means "pick one"; report what the OS picked.
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    self.request_counts["errors"] += 1
+                    await self._respond(
+                        writer, 400, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, payload = await self._dispatch(method, path, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            TimeoutError,
+        ):
+            pass  # client went away mid-request
+        except asyncio.CancelledError:
+            pass  # server shutdown with this keep-alive connection open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        """One parsed request, or None on a clean end-of-stream."""
+        try:
+            line = await reader.readline()
+        except ValueError:  # line longer than the stream limit
+            raise _BadRequest("request line too long") from None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, target, version = parts
+        headers = {}
+        while True:
+            try:
+                header_line = await reader.readline()
+            except ValueError:
+                raise _BadRequest("header line too long") from None
+            if len(header_line) > _MAX_LINE_BYTES:
+                raise _BadRequest("header line too long")
+            if header_line in (b"\r\n", b"\n"):
+                break
+            if not header_line:
+                return None  # EOF mid-headers
+            name, _sep, value = header_line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(
+                f"bad Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(f"body too large: {length} bytes")
+        body = await reader.readexactly(length) if length else b""
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.1":
+            keep_alive = connection != "close"
+        else:
+            keep_alive = connection == "keep-alive"
+        return method, target, body, keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        try:
+            if path == "/select":
+                if method != "POST":
+                    return self._error(405, "POST /select")
+                request = self._json_body(body)
+                selection = await self.batcher.select(
+                    request.get("expression"),
+                    request.get("dims"),
+                    discriminant=request.get("discriminant"),
+                    annotate=bool(request.get("annotate", True)),
+                )
+                self.request_counts["select"] += 1
+                return 200, selection.to_payload()
+            if path == "/select_batch":
+                if method != "POST":
+                    return self._error(405, "POST /select_batch")
+                request = self._json_body(body)
+                dims_list = request.get("dims")
+                if not isinstance(dims_list, list):
+                    raise SelectionError(
+                        "select_batch needs 'dims': a list of dims lists"
+                    )
+                selections = self.engine.select_many(
+                    request.get("expression"),
+                    dims_list,
+                    discriminant=request.get("discriminant"),
+                    annotate=bool(request.get("annotate", True)),
+                )
+                self.request_counts["select_batch"] += 1
+                return 200, {
+                    "selections": [s.to_payload() for s in selections]
+                }
+            if path == "/stats":
+                if method != "GET":
+                    return self._error(405, "GET /stats")
+                self.request_counts["stats"] += 1
+                return 200, self.stats()
+            if path == "/healthz":
+                if method != "GET":
+                    return self._error(405, "GET /healthz")
+                self.request_counts["health"] += 1
+                return 200, {"ok": True}
+            self.request_counts["errors"] += 1
+            return 404, {"error": f"unknown path {path!r}"}
+        except SelectionError as exc:
+            self.request_counts["errors"] += 1
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # keep serving whatever happens
+            self.request_counts["errors"] += 1
+            log.exception("unhandled error on %s %s", method, path)
+            return 500, {"error": f"internal error: {type(exc).__name__}"}
+
+    def _error(self, status: int, allowed: str) -> Tuple[int, dict]:
+        self.request_counts["errors"] += 1
+        return status, {"error": f"use {allowed}"}
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            payload = json.loads(body) if body else {}
+        except ValueError as exc:
+            raise SelectionError(f"body must be JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise SelectionError("body must be a JSON object")
+        return payload
+
+    def stats(self) -> dict:
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests": dict(self.request_counts),
+            "batch": self.batcher.stats(),
+            **self.engine.stats(),
+        }

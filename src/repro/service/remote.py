@@ -1,0 +1,314 @@
+"""The ``remote`` study store: length-prefixed TCP client and server.
+
+Completes the json/sqlite/remote :class:`~repro.figures.cache.StudyStore`
+triad.  A store server process (``python -m repro.service.store_server``)
+owns a local backing store (json directory or sqlite database) and
+serves it over a trivial wire protocol; any number of runner workers,
+benchmark processes or selection services point at it with store kind
+``remote`` and target ``host:port`` — machines that share no
+filesystem can share one store.
+
+Wire protocol (version 1): each message is a frame —
+
+    4-byte big-endian unsigned length | UTF-8 JSON of that length
+
+Requests/responses are JSON objects::
+
+    {"op": "ping"}                           → {"ok": true, "pong": true}
+    {"op": "load", "key": {scale, seed, expression, box}}
+                                             → {"ok": true, "payload": text|null}
+    {"op": "save", "key": {...}, "payload": text}
+                                             → {"ok": true}
+
+The payload is the *canonical study text* of
+:func:`repro.figures.cache.encode_study`, relayed opaquely in both
+directions — so a study that crossed the wire is byte-identical to one
+written by a local store, and the server never re-encodes anything.
+
+:class:`RemoteStudyStore` is a keyed read-through client honouring the
+best-effort store contract: an unreachable or misbehaving server is a
+cache miss (load) or a no-op (save) with a log line, never a pipeline
+error — callers degrade to local computation and keep going.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import socket
+import struct
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.figures.cache import (
+    StudyKey,
+    StudyStore,
+    register_store_kind,
+)
+
+log = logging.getLogger("repro.service")
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; a quick-scale study is ~100 KiB and a
+#: full-scale one a few MiB, so this is generous headroom, not a limit
+#: anyone should meet.
+MAX_FRAME_BYTES = 64 << 20
+
+#: Client-side socket timeout (connect and per-call), seconds.
+DEFAULT_TIMEOUT = 5.0
+
+
+def encode_frame(message: dict) -> bytes:
+    data = json.dumps(message, separators=(",", ":")).encode()
+    if len(data) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame too large: {len(data)} bytes")
+    return _HEADER.pack(len(data)) + data
+
+
+def parse_address(target: Union[str, Path]) -> Tuple[str, int]:
+    """``host:port`` out of a store target (string or Path-like)."""
+    text = str(target)
+    host, _sep, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            f"remote store target must be host:port, got {text!r}"
+        )
+    return host, int(port)
+
+
+def _key_to_payload(key: StudyKey) -> dict:
+    return {
+        "scale": key.scale,
+        "seed": key.seed,
+        "expression": key.expression,
+        "box": key.box,
+    }
+
+
+def _key_from_payload(payload: dict) -> StudyKey:
+    return StudyKey(
+        scale=str(payload["scale"]),
+        seed=int(payload["seed"]),
+        expression=str(payload["expression"]),
+        box=str(payload["box"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class RemoteStudyStore(StudyStore):
+    """Keyed read-through client of a study-store server.
+
+    One persistent connection per store instance, re-established once
+    per call on a stale socket.  Every failure path degrades to a miss
+    or a no-op per the :class:`StudyStore` best-effort contract.
+    """
+
+    kind = "remote"
+
+    def __init__(
+        self, target: Union[str, Path], timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self.host, self.port = parse_address(target)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _connect(self) -> Optional[socket.socket]:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            log.warning(
+                "remote store %s unreachable (%s); degrading to misses",
+                self.address, exc,
+            )
+            return None
+        self._sock = sock
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _recv_exact(self, sock: socket.socket, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _request(self, message: dict) -> Optional[dict]:
+        """One round trip; None on any failure (after one reconnect)."""
+        frame = encode_frame(message)
+        for attempt in (0, 1):
+            sock = self._connect()
+            if sock is None:
+                return None
+            try:
+                sock.sendall(frame)
+                (length,) = _HEADER.unpack(self._recv_exact(sock, 4))
+                if length > MAX_FRAME_BYTES:
+                    raise ConnectionError(f"oversized frame: {length}")
+                response = json.loads(self._recv_exact(sock, length))
+            except (OSError, ConnectionError, ValueError) as exc:
+                # A stale keep-alive socket fails the first attempt;
+                # reconnect once before giving up on this call.
+                self._drop()
+                if attempt:
+                    log.warning(
+                        "remote store %s call failed (%s: %s)",
+                        self.address, type(exc).__name__, exc,
+                    )
+                    return None
+                continue
+            if not isinstance(response, dict) or not response.get("ok"):
+                log.warning(
+                    "remote store %s rejected %s: %s",
+                    self.address, message.get("op"),
+                    (response or {}).get("error"),
+                )
+                return None
+            return response
+        return None
+
+    def ping(self) -> bool:
+        return self._request({"op": "ping"}) is not None
+
+    def load_text(self, key: StudyKey) -> Optional[str]:
+        response = self._request(
+            {"op": "load", "key": _key_to_payload(key)}
+        )
+        if response is None:
+            return None
+        payload = response.get("payload")
+        return payload if isinstance(payload, str) else None
+
+    def save_text(self, key: StudyKey, text: str) -> None:
+        self._request(
+            {"op": "save", "key": _key_to_payload(key), "payload": text}
+        )
+
+    def close(self) -> None:
+        self._drop()
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+
+
+class StudyStoreServer:
+    """Serve a backing :class:`StudyStore` over the frame protocol."""
+
+    def __init__(
+        self,
+        backing: StudyStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backing = backing
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.loads = 0
+        self.saves = 0
+        self.errors = 0
+
+    async def start(self) -> "StudyStoreServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except asyncio.IncompleteReadError:
+                    break  # clean end-of-stream
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    break  # drop abusive connections
+                data = await reader.readexactly(length)
+                writer.write(encode_frame(self._respond(data)))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown with this connection open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    def _respond(self, data: bytes) -> dict:
+        try:
+            request = json.loads(data)
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True, "store": self.backing.kind}
+            if op == "load":
+                key = _key_from_payload(request["key"])
+                self.loads += 1
+                return {"ok": True, "payload": self.backing.load_text(key)}
+            if op == "save":
+                key = _key_from_payload(request["key"])
+                payload = request["payload"]
+                if not isinstance(payload, str):
+                    raise TypeError("save payload must be a string")
+                self.backing.save_text(key, payload)
+                self.saves += 1
+                return {"ok": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:
+            self.errors += 1
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+
+register_store_kind("remote", lambda target: RemoteStudyStore(target))

@@ -1,0 +1,97 @@
+"""CLI for the shared study-store server.
+
+Serve a local store to remote runner workers, benchmark processes and
+selection services::
+
+    PYTHONPATH=src python -m repro.service.store_server \
+        --store sqlite --cache-dir .study-cache --port 8765
+
+Clients point at it with store kind ``remote`` and target
+``host:port`` — e.g. warm it through the parallel runner from another
+machine::
+
+    PYTHONPATH=src python -m repro.runner \
+        --store remote --cache-dir hostname:8765 --jobs 4
+
+See :mod:`repro.service.remote` for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+from typing import List, Optional
+
+from repro.figures.cache import (
+    CACHE_DIR_ENV,
+    LOCAL_STORE_KINDS,
+    make_store,
+)
+from repro.service.remote import StudyStoreServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.store_server",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks a free one (default: 8765)",
+    )
+    parser.add_argument(
+        "--store",
+        choices=LOCAL_STORE_KINDS,
+        default="json",
+        help="backing store kind (default: json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"backing store directory (default: ${CACHE_DIR_ENV})",
+    )
+    return parser
+
+
+async def _serve(server: StudyStoreServer) -> None:
+    await server.start()
+    print(
+        f"study store ({server.backing.kind}) listening on "
+        f"{server.host}:{server.port}",
+        flush=True,
+    )
+    await server.serve_forever()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(
+            f"error: no backing store directory; pass --cache-dir or set "
+            f"{CACHE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    backing = make_store(args.store, cache_dir)
+    server = StudyStoreServer(backing, host=args.host, port=args.port)
+    try:
+        asyncio.run(_serve(server))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        backing.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ def _save(store, study, key=KEY):
     )
 
 
-@pytest.mark.parametrize("kind", cache.STORE_KINDS)
+@pytest.mark.parametrize("kind", cache.LOCAL_STORE_KINDS)
 def test_payload_round_trip_is_exact(tmp_path, computed_study, kind):
     study = computed_study
     with cache.make_store(kind, tmp_path) as store:
@@ -42,7 +42,7 @@ def test_payload_round_trip_is_exact(tmp_path, computed_study, kind):
     assert loaded["confusion"] == study.confusion
 
 
-@pytest.mark.parametrize("kind", cache.STORE_KINDS)
+@pytest.mark.parametrize("kind", cache.LOCAL_STORE_KINDS)
 def test_study_for_uses_disk_store_across_process_caches(
     tmp_path, computed_study, monkeypatch, kind
 ):

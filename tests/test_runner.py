@@ -264,6 +264,138 @@ def test_cli_abundance_survives_mid_run_pattern_registration(
     assert "skipped" not in out
 
 
+@pytest.mark.parametrize("raw", ["", "   ", ",", " , ,"])
+def test_cli_rejects_blank_seeds(tmp_path, capsys, raw):
+    # An all-blank --seeds used to produce an empty matrix and a
+    # successful "0 studies" run; it is a usage error.
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(["--seeds", raw, "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    assert "at least one integer" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("raw", ["0", "-3", "two"])
+def test_cli_rejects_non_positive_jobs(tmp_path, capsys, raw):
+    # --jobs 0 used to escape argparse and surface as a raw ValueError
+    # traceback from StudyRunner; it is a usage error.
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(["--jobs", raw, "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_run_study_recomputes_when_store_entry_is_corrupt(tmp_path):
+    # A corrupted store entry is a miss, not a failed study: run_study
+    # recomputes and heals the entry byte-identically (the pipeline is
+    # deterministic per key).
+    key = MATRIX[0]
+    assert run_study(key, "json", str(tmp_path)).status == "computed"
+    path = JsonDirectoryStore(tmp_path).path_for(key)
+    good = path.read_bytes()
+    path.write_text("{corrupted", encoding="utf-8")
+    outcome = run_study(key, "json", str(tmp_path))
+    assert outcome.status == "computed"
+    assert path.read_bytes() == good
+
+
+def test_run_study_surfaces_a_raising_store_load(tmp_path, monkeypatch):
+    # A store whose load *raises* (as opposed to degrading to a miss)
+    # used to fail the study; now it falls back to recomputation with
+    # the load error surfaced in the outcome.
+    def explode(self, key):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(JsonDirectoryStore, "load", explode)
+    outcome = run_study(MATRIX[0], "json", str(tmp_path))
+    assert outcome.status == "computed"
+    assert "store load failed, recomputed" in outcome.error
+    assert "disk on fire" in outcome.error
+    monkeypatch.undo()
+    assert JsonDirectoryStore(tmp_path).load(MATRIX[0]) is not None
+
+
+def test_runner_salvages_a_broken_process_pool(tmp_path, monkeypatch):
+    # When a worker dies the pool poisons every pending future with
+    # BrokenProcessPool.  The runner must keep the studies that
+    # finished (visible through the store) and retry the rest
+    # sequentially, not crash the whole run.
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.runner import runner as runner_module
+
+    class FakeFuture:
+        def __init__(self, args, broken):
+            self._args = args
+            self._broken = broken
+
+        def result(self):
+            if self._broken:
+                raise BrokenProcessPool("a child process terminated abruptly")
+            return runner_module._run_study_args(self._args)
+
+    class FakePool:
+        # Completes the first submitted study, then "dies".
+        def __init__(self, max_workers=None):
+            self._submitted = 0
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, args):
+            self._submitted += 1
+            return FakeFuture(args, broken=self._submitted > 1)
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", FakePool)
+    # One key already in the store: a worker that finished before the
+    # pool broke; its retry must report "cached", not recompute.
+    assert run_study(MATRIX[1], "json", str(tmp_path)).status == "computed"
+    report = StudyRunner(cache_dir=tmp_path, store="json", jobs=2).run(
+        MATRIX[:3]
+    )
+    assert report.ok
+    assert report.outcomes[0].status == "computed"
+    assert report.outcomes[0].error == ""
+    assert report.outcomes[1].status == "cached"
+    assert report.outcomes[2].status == "computed"
+    for outcome in report.outcomes[1:]:
+        assert "retried sequentially after worker pool broke" in outcome.error
+    store = JsonDirectoryStore(tmp_path)
+    for key in MATRIX[:3]:
+        assert store.load(key) is not None
+
+
+def test_runner_survives_pool_breaking_at_construction(tmp_path, monkeypatch):
+    # BrokenProcessPool out of the pool itself (not a future) — e.g.
+    # during submission — must also degrade to a sequential run.
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.runner import runner as runner_module
+
+    class ExplodingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            raise BrokenProcessPool("fork failed")
+
+        def __exit__(self, *exc):
+            return False
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+    report = StudyRunner(cache_dir=tmp_path, store="json", jobs=2).run(
+        MATRIX[:2]
+    )
+    assert report.ok
+    assert all(o.status == "computed" for o in report.outcomes)
+    assert all(
+        "retried sequentially after worker pool broke" in o.error
+        for o in report.outcomes
+    )
+
+
 def test_cli_abundance_runs_boxes_and_prints_figure(tmp_path, capsys):
     exit_code = runner_main(
         [
