@@ -1,0 +1,127 @@
+"""Plan codegen vs the interpreted batch paths on the study hot loop.
+
+The study hot loop spends its non-machine time in two places: batch
+FLOP evaluation (every ``evaluate_instances`` / ``batch_flops`` call)
+and :class:`KernelCallBatch` construction (every backend batch
+method).  The generated per-plan evaluators
+(:mod:`repro.expressions.codegen`) replace both with ``compile()``d
+closed-form column arithmetic — this bench pins the speedup at
+≥ 3× aggregated over the registered families at 1000-instance
+batches, and the contract that the generated results equal the
+interpreted ones exactly.
+
+The interpreter side below is the literal pre-codegen path: whole
+instance columns through each algorithm's FLOP polynomial plus
+``batch_kernel_calls`` over the interpreted call sequence — the same
+code ``REPRO_NO_CODEGEN=1`` falls back to.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.core.classify import batch_flops
+from repro.core.searchspace import paper_box
+from repro.expressions.registry import get_expression
+from repro.kernels.types import batch_kernel_calls
+
+N_INSTANCES = 1000
+MIN_SPEEDUP = 3.0
+#: Each measurement times ``LOOPS`` back-to-back evaluations (the
+#: per-call cost is sub-millisecond, so a single call is dominated by
+#: timer and allocator noise); the best of ``REPEATS`` measurements
+#: is the per-call estimate.
+REPEATS = 7
+LOOPS = 10
+
+FAMILIES = (
+    "aatb", "chain4", "gram3", "tri4", "sum3", "addchain3", "solve3",
+)
+
+
+def _instances_matrix(expression, seed):
+    rng = random.Random(seed)
+    box = paper_box(expression.n_dims)
+    return np.asarray(
+        [box.sample(rng) for _ in range(N_INSTANCES)], dtype=np.int64
+    )
+
+
+def _interpreted(algorithms, arr):
+    """The pre-codegen hot loop: polynomial columns + batched calls."""
+    columns = tuple(arr[:, i] for i in range(arr.shape[1]))
+    flops = np.stack(
+        [np.asarray(a.flops(columns), dtype=np.int64) for a in algorithms],
+        axis=1,
+    )
+    calls = [
+        batch_kernel_calls(a.kernel_calls(columns), arr.shape[0])
+        for a in algorithms
+    ]
+    return flops, calls
+
+
+def _generated(algorithms, arr):
+    """The codegen hot loop: shared flops fns + compiled call builders."""
+    flops = batch_flops(algorithms, arr)
+    calls = [a.kernel_call_batches(arr) for a in algorithms]
+    return flops, calls
+
+
+def _best_of(fn, *args):
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(LOOPS):
+            result = fn(*args)
+        best = min(best, (time.perf_counter() - t0) / LOOPS)
+    return best, result
+
+
+def test_codegen_batch_evaluators_speedup(run_once, fig_config):
+    cases = []
+    for family in FAMILIES:
+        expression = get_expression(family)
+        algorithms = expression.algorithms()
+        arr = _instances_matrix(expression, fig_config.seed + 31)
+        # Warm both paths (codegen compiles lazily on first use).
+        _generated(algorithms, arr)
+        _interpreted(algorithms, arr)
+        cases.append((family, algorithms, arr))
+
+    def run_all_generated():
+        return [_generated(algorithms, arr) for _, algorithms, arr in cases]
+
+    run_once(run_all_generated)
+
+    print()
+    total_interpreted = total_generated = 0.0
+    for family, algorithms, arr in cases:
+        interpreted_s, (flops_i, calls_i) = _best_of(
+            _interpreted, algorithms, arr
+        )
+        generated_s, (flops_g, calls_g) = _best_of(
+            _generated, algorithms, arr
+        )
+        total_interpreted += interpreted_s
+        total_generated += generated_s
+        speedup = interpreted_s / generated_s
+        print(
+            f"{family:<10} interpreted {interpreted_s * 1e3:7.2f}ms   "
+            f"codegen {generated_s * 1e3:6.2f}ms   speedup {speedup:5.2f}x"
+        )
+        # Exact agreement: same FLOP matrix, same call batches.
+        assert flops_g.tolist() == flops_i.tolist()
+        for batches_g, batches_i in zip(calls_g, calls_i):
+            for got, want in zip(batches_g, batches_i):
+                assert got.kernel is want.kernel
+                assert got.reads_previous == want.reads_previous
+                assert np.array_equal(got.dims, want.dims)
+
+    total = total_interpreted / total_generated
+    print(
+        f"{'TOTAL':<10} interpreted {total_interpreted * 1e3:7.2f}ms   "
+        f"codegen {total_generated * 1e3:6.2f}ms   speedup {total:5.2f}x"
+    )
+    assert total >= MIN_SPEEDUP

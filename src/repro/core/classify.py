@@ -160,23 +160,34 @@ def batch_flops(
 ) -> np.ndarray:
     """Exact ``(n, A)`` int64 FLOP counts, one column per algorithm.
 
-    Each algorithm's FLOP polynomial is evaluated once over whole
-    instance columns; a column degenerates to a scalar only when the
-    polynomial ignores every dim, hence the broadcast.
+    Algorithms carrying a codegen provider evaluate through their
+    compiled column expression; plans sharing one FLOP polynomial
+    share one compiled function *object*, so those evaluations are
+    deduped by function identity and computed once per batch (aatb's
+    five algorithms, for instance, hold only three distinct
+    polynomials).  Algorithms without a provider fall back to the
+    interpreted whole-column polynomial evaluation.
     """
     n = instances_matrix.shape[0]
-    columns = tuple(
-        instances_matrix[:, i] for i in range(instances_matrix.shape[1])
-    )
-    return np.stack(
-        [
-            np.broadcast_to(
-                np.asarray(a.flops(columns), dtype=np.int64), (n,)
-            )
-            for a in algorithms
-        ],
-        axis=1,
-    )
+    out = np.empty((n, len(algorithms)), dtype=np.int64)
+    shared: dict = {}
+    columns = None
+    for j, algorithm in enumerate(algorithms):
+        fn = algorithm.flops_batch_function()
+        if fn is not None:
+            key = id(fn)
+            column = shared.get(key)
+            if column is None:
+                column = shared[key] = fn(instances_matrix)
+            out[:, j] = column
+        else:
+            if columns is None:
+                columns = tuple(
+                    instances_matrix[:, i]
+                    for i in range(instances_matrix.shape[1])
+                )
+            out[:, j] = np.asarray(algorithm.flops(columns), dtype=np.int64)
+    return out
 
 
 def evaluate_instances(
@@ -199,12 +210,20 @@ def evaluate_instances(
         raise ValueError(
             f"instances must be a (n, n_dims) matrix, got shape {arr.shape!r}"
         )
-    timer = backend.predict_times if predict else backend.time_algorithms
+    if predict:
+        # One matrix call so the backend can dedupe identical
+        # (kernel, dims) benchmarks across *plans*, not just within
+        # one plan's instances.
+        seconds = backend.predict_times_matrix(algorithms, arr)
+    else:
+        seconds = np.stack(
+            [backend.time_algorithms(a, arr) for a in algorithms], axis=1
+        )
     return BatchEvaluation(
         instances=arr,
         algorithm_names=tuple(a.name for a in algorithms),
         flops=batch_flops(algorithms, arr),
-        seconds=np.stack([timer(a, arr) for a in algorithms], axis=1),
+        seconds=seconds,
     )
 
 
@@ -231,13 +250,20 @@ def classify_batch(
 
     # The same cheapest/fastest membership patterns recur across most
     # rows of a batch; intern the name tuples by mask bit-pattern.
+    # One ``tobytes`` per whole mask matrix (bool = 1 byte, C order)
+    # and per-row byte slices as cache keys — no per-row numpy calls
+    # on the hit path, and cheap/fast rows share one cache since the
+    # key width is the same.
+    width = len(names)
+    cheap_bytes = cheap_mask.tobytes()
+    fast_bytes = fast_mask.tobytes()
     name_cache: dict = {}
 
-    def names_for(mask_row: np.ndarray) -> Tuple[str, ...]:
-        key = mask_row.tobytes()
+    def names_for(buffer: bytes, i: int, mask: np.ndarray) -> Tuple[str, ...]:
+        key = buffer[i * width:(i + 1) * width]
         got = name_cache.get(key)
         if got is None:
-            got = tuple(names[j] for j in np.nonzero(mask_row)[0])
+            got = tuple(names[j] for j in np.nonzero(mask[i])[0])
             name_cache[key] = got
         return got
 
@@ -247,8 +273,8 @@ def classify_batch(
             time_score=time_score,
             flop_score=flop_score,
             threshold=threshold,
-            cheapest=names_for(cheap_mask[i]),
-            fastest=names_for(fast_mask[i]),
+            cheapest=names_for(cheap_bytes, i, cheap_mask),
+            fastest=names_for(fast_bytes, i, fast_mask),
         )
         for i, (is_anomaly, time_score, flop_score) in enumerate(
             zip(

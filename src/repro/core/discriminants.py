@@ -89,25 +89,19 @@ class _ProfileMixin:
     ) -> np.ndarray:
         """Profile-predicted times for all instances as one array.
 
-        The algorithm's calls builder runs once over whole instance
-        columns (its kernel *structure* is instance-independent), then
-        each call slot interpolates through
+        The call batches come from the algorithm's compiled builder
+        when it carries one (shape indices resolved at codegen time),
+        else from running the calls builder once over whole instance
+        columns — its kernel *structure* is instance-independent
+        either way.  Each call slot then interpolates through
         :meth:`repro.profiles.benchmark.Profile.predict_batch`.  Call
         slots accumulate in the same order as the scalar loop, and the
         scalar ``Profile.predict`` is a one-row batch, so the summed
         times equal :meth:`predicted_time` bit for bit.
         """
-        from repro.kernels.types import batch_kernel_calls
-
         n = instances_matrix.shape[0]
-        columns = tuple(
-            instances_matrix[:, i]
-            for i in range(instances_matrix.shape[1])
-        )
         total = np.zeros(n, dtype=np.float64)
-        for call_batch in batch_kernel_calls(
-            algorithm.kernel_calls(columns), n
-        ):
+        for call_batch in algorithm.kernel_call_batches(instances_matrix):
             profile = self.profiles.get(call_batch.kernel)
             if profile is None:
                 raise KeyError(
@@ -221,8 +215,8 @@ class BenchmarkDiscriminant(Discriminant):
         algorithms: Sequence[Algorithm],
         instances: Sequence[Sequence[int]],
     ) -> List[int]:
-        times = np.stack(
-            [self.backend.predict_times(a, instances) for a in algorithms],
-            axis=1,
-        )
+        # One matrix call so the backend can dedupe identical
+        # (kernel, dims) benchmarks across plans (see
+        # Backend.predict_times_matrix).
+        times = self.backend.predict_times_matrix(algorithms, instances)
         return np.argmin(times, axis=1).tolist()

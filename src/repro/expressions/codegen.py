@@ -1,0 +1,449 @@
+"""Per-plan codegen: specialized batch evaluators, compiled once.
+
+The study hot loop evaluates every plan's FLOP polynomial and
+kernel-call list millions of times; interpreting the ``Plan`` step
+list per batch pays Python dispatch for work that is fixed at compile
+time.  This module emits — per *plan structure* — three specialized
+functions as Python source and ``compile()``s each exactly once:
+
+* a **batch FLOP evaluator**: the step list collapsed into one
+  closed-form NumPy column expression (constants folded, common
+  factors extracted by :meth:`repro.expressions.shapes.SizeExpr.render`);
+* a **kernel-call-batch builder**: shape indices resolved at codegen
+  time into a single fancy-index gather plus per-call column slices,
+  with :class:`~repro.kernels.types.KernelCallBatch` objects built
+  through the trusted-constructor path (the emitted shapes are correct
+  by construction, so the per-call validation is skipped);
+* a **NumPy/BLAS executor**: the step loop unrolled into straight-line
+  calls of the same :mod:`repro.expressions.blas` wrappers in the same
+  order as ``Plan.execute`` (bit-identical results), with temp-buffer
+  slots preassigned by liveness so intermediate arrays are dropped as
+  early as the interpreter would drop them.
+
+Compiled code is cached two ways: per structural *plan signature*
+(CSE-equal plans — identical leaves and steps — share all three
+functions) and, for the FLOP evaluator, per canonical FLOP polynomial
+(plans that differ only in association share one evaluator object,
+which lets ``core.classify.batch_flops`` dedupe whole evaluations by
+function identity).
+
+``REPRO_NO_CODEGEN=1`` disables the layer: the environment is checked
+lazily on every use, so flipping it at runtime falls back to (or
+re-enables from) the interpreted path without rebuilding registries —
+and a disabled process never compiles anything.
+
+Adding a kernel: teach the IR/compiler its lowering, then register one
+line in :data:`EXECUTOR_EMITTERS` mapping the new
+:class:`~repro.kernels.types.KernelName` to a function
+``(plan, step, ref_src) -> "RHS source"`` (see the existing five).
+The FLOP and call builders need nothing — they are derived from the
+kernel's arity and FLOP formula.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.expressions import blas
+from repro.expressions.ir import AddExpr
+from repro.expressions.shapes import SizeExpr, dim_symbols
+from repro.kernels.types import KernelCallBatch, KernelName
+
+#: Plan-structure signature → compiled :class:`PlanCode`.
+_PLAN_CACHE: Dict[tuple, "PlanCode"] = {}
+
+#: Canonical FLOP-polynomial key → (compiled evaluator, its source).
+_FLOPS_FNS: Dict[tuple, Tuple[Callable[[np.ndarray], np.ndarray], str]] = {}
+
+_STATS = {
+    "plans_compiled": 0,
+    "plan_cache_hits": 0,
+    "flops_fns_shared": 0,
+    "flops_batches": 0,
+    "call_batches": 0,
+}
+
+
+# The enabled probe runs twice per algorithm per batch (flops + calls)
+# on the study hot loop; ``os.environ.get`` costs ~0.8us through the
+# Mapping machinery, so read CPython's raw environ dict when it is
+# exposed (keys/values are fsencoded bytes on posix).  Mutations via
+# ``os.environ[...]``/``monkeypatch.setenv`` update the same dict.
+_ENVIRON_DATA = getattr(os.environ, "_data", None)
+_NO_CODEGEN_KEY = (
+    os.fsencode("REPRO_NO_CODEGEN")
+    if isinstance(next(iter(_ENVIRON_DATA), b""), bytes)
+    else "REPRO_NO_CODEGEN"
+) if _ENVIRON_DATA is not None else None
+
+
+def codegen_enabled() -> bool:
+    """Whether generated evaluators are in use (checked lazily per call)."""
+    if _ENVIRON_DATA is not None:
+        raw = _ENVIRON_DATA.get(_NO_CODEGEN_KEY)
+        return raw is None or raw in (b"", b"0", "", "0")
+    return os.environ.get("REPRO_NO_CODEGEN", "") in ("", "0")
+
+
+def codegen_stats() -> dict:
+    """Cache sizes and hit counters for ``GET /stats`` and tests."""
+    return {
+        "enabled": codegen_enabled(),
+        "plan_cache_size": len(_PLAN_CACHE),
+        "plan_cache_hits": _STATS["plan_cache_hits"],
+        "plans_compiled": _STATS["plans_compiled"],
+        "flops_functions": len(_FLOPS_FNS),
+        "flops_fns_shared": _STATS["flops_fns_shared"],
+        "flops_batches": _STATS["flops_batches"],
+        "call_batches": _STATS["call_batches"],
+    }
+
+
+def clear_codegen_caches() -> None:
+    """Drop all compiled code and counters (test isolation hook)."""
+    _PLAN_CACHE.clear()
+    _FLOPS_FNS.clear()
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Plan signatures
+# ----------------------------------------------------------------------
+
+
+def _factor_descriptor(factor) -> tuple:
+    if isinstance(factor, AddExpr):
+        return ("add", tuple(_factor_descriptor(l) for l in factor.leaves))
+    return (
+        "leaf",
+        factor.operand,
+        factor.rows,
+        factor.cols,
+        factor.transposed,
+        factor.symmetric,
+        factor.triangular,
+    )
+
+
+def plan_signature(plan) -> tuple:
+    """Structural identity of a plan: everything codegen depends on.
+
+    Two plans with equal signatures lower to byte-identical generated
+    source — labels, tree indices and schedules are presentation-only
+    and deliberately excluded, so CSE-equal plans (e.g. the two
+    schedules of a chain tree, which reorder *independent* steps into
+    the same step tuple) share one compiled :class:`PlanCode`.
+    """
+    return (
+        plan.n_dims,
+        tuple(_factor_descriptor(f) for f in plan.leaves),
+        plan.steps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Source emission
+# ----------------------------------------------------------------------
+
+
+def _compile_function(source: str, name: str, namespace: dict) -> Callable:
+    scope = dict(namespace)
+    exec(compile(source, f"<codegen:{name}>", "exec"), scope)
+    return scope[name]
+
+
+def _flops_entry(plan) -> Tuple[Callable[[np.ndarray], np.ndarray], str]:
+    """The plan's batch FLOP evaluator, shared by canonical polynomial."""
+    poly = plan.flops(dim_symbols(plan.n_dims))
+    if not isinstance(poly, SizeExpr):  # constant-FLOP corner case
+        poly = SizeExpr.constant(int(poly))
+    key = poly.key()
+    entry = _FLOPS_FNS.get(key)
+    if entry is None:
+        source = _emit_flops_source(poly)
+        fn = _compile_function(source, "flops_batch", {"_np": np})
+        entry = _FLOPS_FNS[key] = (fn, source)
+    else:
+        _STATS["flops_fns_shared"] += 1
+    return entry
+
+
+def _emit_flops_source(poly: SizeExpr) -> str:
+    lines = ["def flops_batch(arr):"]
+    dims = poly.used_dims()
+    for dim in dims:
+        lines.append(f"    c{dim} = arr[:, {dim}]")
+    if dims:
+        lines.append(f"    return {poly.render(lambda d: f'c{d}')}")
+    else:
+        constant = poly.size_hint(())
+        lines.append(
+            f"    return _np.full(arr.shape[0], {constant}, dtype=_np.int64)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _emit_calls_source(plan) -> Tuple[str, dict]:
+    """KernelCallBatch builder: one gather, per-call slices, trusted init.
+
+    All step dims are gathered with a single fancy index; each call
+    slot's ``(n, arity)`` dims matrix is then a strided column slice
+    of the gathered block.  The batches are assembled through
+    ``object.__new__`` plus direct ``__dict__`` stores — the frozen
+    dataclass's validated constructor costs ~5× as much per call and
+    can only re-check shapes this emitter already fixed.
+    """
+    flat_dims = [i for step in plan.steps for i in step.dims]
+    namespace: dict = {
+        "_new": object.__new__,
+        "_KCB": KernelCallBatch,
+        "_IDX": np.asarray(flat_dims, dtype=np.intp),
+    }
+    lines = ["def calls_batch(arr):", "    d = arr[:, _IDX]"]
+    offset = 0
+    names: List[str] = []
+    for s, step in enumerate(plan.steps):
+        arity = len(step.dims)
+        kernel_name = f"_K_{step.kernel.name}"
+        namespace[kernel_name] = step.kernel
+        lines.extend(
+            [
+                f"    b{s} = _new(_KCB)",
+                f"    x = b{s}.__dict__",
+                f"    x['kernel'] = {kernel_name}",
+                f"    x['dims'] = d[:, {offset}:{offset + arity}]",
+                f"    x['reads_previous'] = {step.reads_previous!r}",
+            ]
+        )
+        names.append(f"b{s}")
+        offset += arity
+    trailing = "," if len(names) == 1 else ""
+    lines.append(f"    return ({', '.join(names)}{trailing})")
+    return "\n".join(lines) + "\n", namespace
+
+
+def _emit_syrk(plan, step, ref_src) -> str:
+    if step.left.is_step:
+        return f"_syrk({ref_src(step.left)})"
+    leaf = plan.leaves[step.left.index]
+    return f"_syrk(operands[{leaf.operand}], trans={leaf.transposed!r})"
+
+
+def _emit_symm(plan, step, ref_src) -> str:
+    return f"_symm({ref_src(step.left)}, {ref_src(step.right)})"
+
+
+def _emit_trsm(plan, step, ref_src) -> str:
+    leaf = plan.leaves[step.left.index]
+    return f"_trsm(operands[{leaf.operand}], {ref_src(step.right)})"
+
+
+def _emit_add(plan, step, ref_src) -> str:
+    return f"_add({ref_src(step.left)}, {ref_src(step.right)})"
+
+
+def _emit_gemm(plan, step, ref_src) -> str:
+    return f"_gemm({ref_src(step.left)}, {ref_src(step.right)})"
+
+
+#: Per-kernel executor emitters: ``(plan, step, ref_src) -> RHS source``.
+#: ``ref_src`` renders a ValueRef as source (a temp slot or an operand
+#: view).  A new kernel registers exactly one entry here; the emitted
+#: call must invoke the same :mod:`repro.expressions.blas` wrapper the
+#: interpreted ``Plan.execute`` branch does, so generated and
+#: interpreted executors stay bit-identical.
+EXECUTOR_EMITTERS: Dict[KernelName, Callable] = {
+    KernelName.SYRK: _emit_syrk,
+    KernelName.SYMM: _emit_symm,
+    KernelName.TRSM: _emit_trsm,
+    KernelName.ADD: _emit_add,
+    KernelName.GEMM: _emit_gemm,
+}
+
+
+def _step_inputs(step) -> List[int]:
+    """Indices of prior steps whose values this step reads."""
+    inputs = []
+    for ref in (step.left, step.right):
+        if ref is not None and ref.is_step:
+            inputs.append(ref.index)
+    if step.accumulate is not None:
+        inputs.append(step.accumulate)
+    return inputs
+
+
+def _emit_execute_source(plan) -> Tuple[str, dict]:
+    """Straight-line executor with liveness-assigned temp slots.
+
+    Replays exactly the wrapper calls ``Plan.execute`` issues, in the
+    same order with the same arguments.  Slots are reused once their
+    value's last reader has run; an accumulation target stays blocked
+    through its step because ``t_out = t_acc + t_out`` reads it
+    *after* the main call's assignment.
+    """
+    steps = plan.steps
+    last_use = [0] * len(steps)
+    for i, step in enumerate(steps):
+        for source in _step_inputs(step):
+            last_use[source] = max(last_use[source], i)
+    last_use[len(steps) - 1] = len(steps)
+
+    def ref_src(ref) -> str:
+        if ref.is_step:
+            return f"t{slot_of[ref.index]}"
+        factor = plan.leaves[ref.index]
+        leaf = factor.leaves[ref.sub] if ref.sub is not None else factor
+        source = f"operands[{leaf.operand}]"
+        return f"{source}.T" if leaf.transposed else source
+
+    lines = ["def execute(operands):"]
+    slot_of: Dict[int, int] = {}
+    free: List[int] = []
+    n_slots = 0
+    for i, step in enumerate(steps):
+        dying = sorted(
+            slot_of[k] for k in range(i) if last_use[k] == i
+        )
+        # An accumulation source is read after this step's assignment;
+        # its slot only frees once the statement group has run.
+        blocked = (
+            {slot_of[step.accumulate]}
+            if step.accumulate is not None
+            else set()
+        )
+        free.extend(s for s in dying if s not in blocked)
+        free.sort()
+        if free:
+            slot = free.pop(0)
+        else:
+            slot = n_slots
+            n_slots += 1
+        slot_of[i] = slot
+        out = f"t{slot}"
+        lines.append(
+            f"    {out} = {EXECUTOR_EMITTERS[step.kernel](plan, step, ref_src)}"
+        )
+        if step.copy_to_full:
+            lines.append(f"    {out} = _fill({out})")
+        if step.accumulate is not None:
+            lines.append(f"    {out} = t{slot_of[step.accumulate]} + {out}")
+        free.extend(s for s in dying if s in blocked and s != slot)
+        free.sort()
+    lines.append(f"    return t{slot_of[len(steps) - 1]}")
+    namespace = {
+        "_gemm": blas.gemm,
+        "_syrk": blas.syrk_lower,
+        "_symm": blas.symm_lower,
+        "_add": blas.add,
+        "_trsm": blas.trsm,
+        "_fill": blas.fill_symmetric_from_lower,
+    }
+    return "\n".join(lines) + "\n", namespace
+
+
+# ----------------------------------------------------------------------
+# Compiled plan code + the per-algorithm provider
+# ----------------------------------------------------------------------
+
+
+class PlanCode:
+    """The three compiled functions (and their source) of one plan."""
+
+    __slots__ = ("flops", "calls", "execute", "source")
+
+    def __init__(
+        self,
+        flops: Callable[[np.ndarray], np.ndarray],
+        calls: Callable[[np.ndarray], Tuple[KernelCallBatch, ...]],
+        execute: Callable,
+        source: Dict[str, str],
+    ) -> None:
+        self.flops = flops
+        self.calls = calls
+        self.execute = execute
+        self.source = source
+
+
+def compiled_plan(plan) -> PlanCode:
+    """The plan's :class:`PlanCode`, compiling at most once per structure."""
+    signature = plan_signature(plan)
+    code = _PLAN_CACHE.get(signature)
+    if code is not None:
+        _STATS["plan_cache_hits"] += 1
+        return code
+    _STATS["plans_compiled"] += 1
+    flops_fn, flops_source = _flops_entry(plan)
+    calls_source, calls_namespace = _emit_calls_source(plan)
+    calls_fn = _compile_function(calls_source, "calls_batch", calls_namespace)
+    execute_source, execute_namespace = _emit_execute_source(plan)
+    execute_fn = _compile_function(
+        execute_source, "execute", execute_namespace
+    )
+    code = PlanCode(
+        flops_fn,
+        calls_fn,
+        execute_fn,
+        {
+            "flops": flops_source,
+            "calls": calls_source,
+            "execute": execute_source,
+        },
+    )
+    _PLAN_CACHE[signature] = code
+    return code
+
+
+class PlanCodegen:
+    """Lazy per-plan provider wired into :class:`~repro.expressions.base.Algorithm`.
+
+    ``flops_fn``/``calls_fn`` return the compiled evaluator, or None
+    while ``REPRO_NO_CODEGEN`` disables the layer — callers fall back
+    to the interpreted path, and a disabled process never compiles.
+    ``execute`` is installed as the algorithm's executor directly and
+    falls back to ``Plan.execute`` itself.
+    """
+
+    __slots__ = ("plan", "_code")
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self._code: Optional[PlanCode] = None
+
+    def _resolve(self) -> Optional[PlanCode]:
+        if not codegen_enabled():
+            return None
+        code = self._code
+        if code is None:
+            code = self._code = compiled_plan(self.plan)
+        return code
+
+    def flops_fn(self) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+        code = self._resolve()
+        if code is None:
+            return None
+        _STATS["flops_batches"] += 1
+        return code.flops
+
+    def calls_fn(
+        self,
+    ) -> Optional[Callable[[np.ndarray], Tuple[KernelCallBatch, ...]]]:
+        code = self._resolve()
+        if code is None:
+            return None
+        _STATS["call_batches"] += 1
+        return code.calls
+
+    def execute(self, operands) -> np.ndarray:
+        code = self._resolve()
+        if code is not None:
+            return code.execute(operands)
+        return self.plan.execute(operands)
+
+    @property
+    def source(self) -> Dict[str, str]:
+        """Emitted source of all three functions (docs/debugging)."""
+        return compiled_plan(self.plan).source

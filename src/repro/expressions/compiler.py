@@ -60,6 +60,8 @@ import numpy as np
 
 from repro.expressions import blas
 from repro.expressions.base import Algorithm, Expression
+from repro.expressions.codegen import PlanCodegen
+from repro.expressions.shapes import SizeExpr, dim_symbol
 from repro.expressions.ir import (
     AddExpr,
     Factor,
@@ -133,26 +135,27 @@ class PruneConfig:
         )
 
 
-def _tree_cost(
+def _tree_cost_expr(
     factors: Tuple[Factor, ...],
     tree: Tree,
-    centroid: Sequence[int],
     offset: int = 0,
-) -> float:
-    """FLOPs of one tree's unrewritten lowering at concrete dims.
+) -> SizeExpr:
+    """Symbolic FLOPs of one tree's unrewritten lowering.
 
     GEMM cost per product node, TRSM for a triangular-inverse left
     leaf, ADD for add factors; CSE and the SYRK/SYMM rewrites are
     ignored — this is a ranking key, not an exact plan cost (for
-    GEMM-only families the two coincide).
+    GEMM-only families the two coincide).  The result is a
+    :class:`~repro.expressions.shapes.SizeExpr` over the instance-dim
+    symbols, probed at concrete centroids via ``size_hint``.
     """
 
-    def walk(node) -> Tuple[float, float, float, bool]:
+    def walk(node) -> Tuple[SizeExpr, SizeExpr, SizeExpr, bool]:
         if isinstance(node, int):
             factor = factors[node + offset]
-            rows = float(centroid[factor.rows])
-            cols = float(centroid[factor.cols])
-            cost = 0.0
+            rows = dim_symbol(factor.rows)
+            cols = dim_symbol(factor.cols)
+            cost = SizeExpr.constant(0)
             if isinstance(factor, AddExpr):
                 cost = (len(factor.leaves) - 1) * rows * cols
             return rows, cols, cost, factor.triangular
@@ -161,10 +164,26 @@ def _tree_cost(
         if l_triangular:
             node_cost = l_rows * l_rows * r_cols
         else:
-            node_cost = 2.0 * l_rows * r_cols * l_cols
+            node_cost = 2 * l_rows * r_cols * l_cols
         return l_rows, r_cols, l_cost + r_cost + node_cost, False
 
     return walk(tree)[2]
+
+
+def _tree_cost(
+    factors: Tuple[Factor, ...],
+    tree: Tree,
+    centroid: Sequence[int],
+    offset: int = 0,
+) -> int:
+    """FLOPs of one tree's unrewritten lowering at concrete dims.
+
+    Exact integer evaluation of :func:`_tree_cost_expr` at the probe
+    instance; equal to the old direct float walk value for value
+    (products of paper-box ints stay far below 2**53), so rankings —
+    and hence pruned plan sets — are unchanged.
+    """
+    return _tree_cost_expr(factors, tree, offset).size_hint(centroid)
 
 
 @dataclass(frozen=True)
@@ -971,13 +990,23 @@ class CompiledExpression(Expression):
         namer = namer or default_plan_namer
         self._plans = tuple(compile_plans(name, expr, trees, prune))
         self._algorithms = tuple(
-            Algorithm(
-                name=namer(plan, ordinal),
-                expression=name,
-                calls_builder=plan.kernel_calls,
-                executor=plan.execute,
-            )
+            self._algorithm_for(namer(plan, ordinal), plan)
             for ordinal, plan in enumerate(self._plans, 1)
+        )
+
+    def _algorithm_for(self, algorithm_name: str, plan: Plan) -> Algorithm:
+        # Codegen attaches lazily: nothing compiles until a batch path
+        # first asks (and never with REPRO_NO_CODEGEN set).  The
+        # provider's executor falls back to the interpreted
+        # ``Plan.execute`` when disabled, so the real backend follows
+        # the same switch.
+        provider = PlanCodegen(plan)
+        return Algorithm(
+            name=algorithm_name,
+            expression=self.name,
+            calls_builder=plan.kernel_calls,
+            executor=provider.execute,
+            codegen=provider,
         )
 
     def plans(self) -> Tuple[Plan, ...]:

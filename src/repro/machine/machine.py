@@ -84,6 +84,14 @@ _KERNEL_TOKEN = {
 #: from every algorithm's stream, like a standalone benchmark run.
 _BENCH_CONTEXT = "kernel-benchmark"
 
+#: Byte budget of the noise-free base-seconds cache (keys + values).
+#: Within one evaluation batch, equivalent plans revisit the same
+#: ``(kernel, dims-column)`` slots; the analytic base time is
+#: noise-free and context-free, so it is the one quantity that *can*
+#: be shared across plans.  Bounded by bytes (not entries) because
+#: both the key and the value scale with the batch length.
+_BASE_CACHE_MAX_BYTES = 32 * 1024 * 1024
+
 
 def _as_dims_matrix(kernel: KernelName, dims) -> np.ndarray:
     arr = np.asarray(dims, dtype=np.int64)
@@ -115,6 +123,11 @@ class MachineModel:
         self.variant_dispatch = variant_dispatch
         self.cache_effects = cache_effects
         self._stream_base_cache: dict = {}
+        # Noise-free base seconds keyed by (kernel, dims-matrix bytes);
+        # shared across algorithm contexts (see _BASE_CACHE_MAX_BYTES).
+        self._base_seconds_cache: dict = {}
+        self._base_cache_bytes = 0
+        self.base_seconds_cache_hits = 0
 
     @property
     def peak_flops(self) -> float:
@@ -258,6 +271,32 @@ class MachineModel:
         """Median measured time of one isolated (flushed-cache) call."""
         return float(self.measure_kernel_batch(kernel, [tuple(dims)])[0])
 
+    def _base_seconds_memo(
+        self, kernel: KernelName, dims: np.ndarray
+    ) -> np.ndarray:
+        """Noise-free base seconds, memoised across algorithm contexts.
+
+        Equivalent plans evaluated over the same instance batch issue
+        largely overlapping ``(kernel, dims-column)`` calls; the base
+        time depends only on those coordinates (no context, no noise),
+        so it is computed once per distinct column per batch.  Callers
+        must not mutate the returned array (the interference multiply
+        in :meth:`_algorithm_batch` rebinds, never writes in place).
+        """
+        key = (kernel, np.ascontiguousarray(dims).tobytes())
+        base = self._base_seconds_cache.get(key)
+        if base is None:
+            base = self.kernel_seconds_batch(kernel, dims)
+            size = len(key[1]) + base.nbytes
+            if self._base_cache_bytes + size > _BASE_CACHE_MAX_BYTES:
+                self._base_seconds_cache.clear()
+                self._base_cache_bytes = 0
+            self._base_seconds_cache[key] = base
+            self._base_cache_bytes += size
+        else:
+            self.base_seconds_cache_hits += 1
+        return base
+
     def _algorithm_batch(
         self,
         calls: Sequence[KernelCallBatch],
@@ -270,7 +309,7 @@ class MachineModel:
         total = np.zeros(calls[0].n)
         previous: Optional[KernelCallBatch] = None
         for index, call in enumerate(calls):
-            base = self.kernel_seconds_batch(call.kernel, call.dims)
+            base = self._base_seconds_memo(call.kernel, call.dims)
             if (
                 with_interference
                 and previous is not None

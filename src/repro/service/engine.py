@@ -34,6 +34,7 @@ from repro.core.discriminants import (
 from repro.core.searchspace import NAMED_BOXES
 from repro.experiments.regions import Regions
 from repro.expressions.base import Algorithm, Expression
+from repro.expressions.codegen import codegen_stats
 from repro.expressions.registry import (
     expression_name_help,
     get_expression,
@@ -400,5 +401,6 @@ class SelectionEngine:
                 "discriminants": sorted(self.discriminants),
                 "expressions_loaded": sorted(self._expressions),
             },
+            "codegen": codegen_stats(),
             **self.studies.stats(),
         }

@@ -381,6 +381,59 @@ def test_base_predict_time_dedupes_kernel_timings(aatb):
     assert len(backend.kernel_calls) == 3
 
 
+def test_predict_times_matrix_dedupes_across_plans(aatb):
+    """One benchmark memo spans all the plans of an evaluation batch."""
+
+    class CountingBackend(Backend):
+        def __init__(self):
+            self.kernel_calls = []
+
+        @property
+        def peak_flops(self):
+            return 1.0
+
+        def time_algorithm(self, algorithm, instance):
+            raise NotImplementedError
+
+        def time_kernel(self, kernel, dims):
+            self.kernel_calls.append((kernel, tuple(dims)))
+            return 1.0
+
+    # aatb-1 = SYRK(d0,d1) + SYMM(d0,d2); aatb-2 = SYRK(d0,d1) +
+    # GEMM(d0,d2,d0): the SYRK call is shared, so a matrix prediction
+    # benchmarks 3 distinct kernels where per-plan calls would run 4.
+    algorithms = aatb.algorithms()[:2]
+    backend = CountingBackend()
+    out = backend.predict_times_matrix(algorithms, [(64, 96, 128)])
+    assert out.shape == (1, 2)
+    assert out.tolist() == [[2.0, 2.0]]
+    assert len(backend.kernel_calls) == 3  # memo hit for aatb-2's SYRK
+
+    # Without the shared memo, each plan re-times its own calls.
+    backend.kernel_calls.clear()
+    for algorithm in algorithms:
+        backend.predict_times(algorithm, [(64, 96, 128)])
+    assert len(backend.kernel_calls) == 4
+
+
+def test_machine_base_seconds_memo_hits_across_plans(aatb):
+    """The noise-free base-seconds cache is hit across plan contexts
+    without perturbing a single bit of any prediction."""
+    instances = _instances(3, 10, seed=5)
+    algorithms = aatb.algorithms()
+    shared = SimulatedBackend(paper_machine(seed=0))
+    assert shared.machine.base_seconds_cache_hits == 0
+    got = [
+        shared.predict_times(a, instances).tolist() for a in algorithms
+    ]
+    # Every plan starts with SYRK or GEMM over overlapping dim columns.
+    assert shared.machine.base_seconds_cache_hits > 0
+    for algorithm, expected in zip(algorithms, got):
+        # A fresh machine per algorithm sees every column cold.
+        fresh = SimulatedBackend(paper_machine(seed=0))
+        assert fresh.predict_times(algorithm, instances).tolist() == expected
+
+
 # ----------------------------------------------------------------------
 # Profiles and profile-based discriminants
 # ----------------------------------------------------------------------

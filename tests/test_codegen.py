@@ -1,0 +1,205 @@
+"""Plan codegen equivalence: generated evaluators ≡ the interpreter.
+
+For every registered family (plus ``sum6``, which compiles under the
+cost-guided pruning pass), the per-plan generated functions must match
+the interpreted paths **bit for bit** on randomized instance batches:
+
+* the batch FLOP evaluator equals both the interpreted whole-column
+  polynomial evaluation and the :func:`flop_polynomial` oracle;
+* the generated :class:`KernelCallBatch` builder equals
+  ``batch_kernel_calls`` over the interpreted call sequence;
+* the generated NumPy executor equals ``Plan.execute`` on real
+  operands (same BLAS wrappers replayed in the same order).
+
+``REPRO_NO_CODEGEN=1`` must disable every generated path, falling back
+to the interpreter with identical results.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.symbolic import flop_polynomial
+from repro.expressions.codegen import (
+    clear_codegen_caches,
+    codegen_enabled,
+    codegen_stats,
+    compiled_plan,
+    plan_signature,
+)
+from repro.expressions.registry import get_expression
+from repro.expressions.shapes import SizeExpr, dim_symbols
+from repro.kernels.types import batch_kernel_calls
+
+#: The registered families plus one pruned large family (sum6 runs the
+#: compiler's cost-guided pruning pass, whose tree costs now evaluate
+#: through the symbolic shape layer).
+FAMILIES = (
+    "aatb", "chain4", "gram3", "tri4", "sum3", "addchain3", "solve3",
+    "sum6",
+)
+
+
+def _instance_batches(n_dims, seed=0):
+    """Randomized batches including degenerate (all-1) and large dims."""
+    rng = random.Random(seed)
+    batches = [
+        np.asarray(
+            [
+                tuple(rng.randint(1, 400) for _ in range(n_dims))
+                for _ in range(17)
+            ],
+            dtype=np.int64,
+        ),
+        np.ones((3, n_dims), dtype=np.int64),
+        np.full((2, n_dims), 1400, dtype=np.int64),
+    ]
+    return batches
+
+
+def _interpreted_flops(algorithm, arr):
+    columns = tuple(arr[:, i] for i in range(arr.shape[1]))
+    return np.asarray(algorithm.flops(columns), dtype=np.int64)
+
+
+def _interpreted_batches(algorithm, arr):
+    columns = tuple(arr[:, i] for i in range(arr.shape[1]))
+    return batch_kernel_calls(algorithm.kernel_calls(columns), arr.shape[0])
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_codegen_flops_match_interpreter_and_polynomial(family):
+    expression = get_expression(family)
+    polys = [
+        flop_polynomial(a, expression.n_dims)
+        for a in expression.algorithms()
+    ]
+    for arr in _instance_batches(expression.n_dims, seed=hash(family) % 997):
+        columns = tuple(arr[:, i] for i in range(arr.shape[1]))
+        for algorithm, poly in zip(expression.algorithms(), polys):
+            fn = algorithm.flops_batch_function()
+            assert fn is not None, algorithm.name
+            got = fn(arr)
+            assert got.dtype == np.int64
+            assert got.tolist() == _interpreted_flops(algorithm, arr).tolist()
+            assert got.tolist() == poly.evaluate(columns).tolist()
+            # The convenience wrapper routes through the same function.
+            assert algorithm.flops_batch(arr).tolist() == got.tolist()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_codegen_call_batches_match_interpreter(family):
+    expression = get_expression(family)
+    for arr in _instance_batches(expression.n_dims, seed=len(family)):
+        for algorithm in expression.algorithms():
+            generated = algorithm.kernel_call_batches(arr)
+            interpreted = _interpreted_batches(algorithm, arr)
+            assert len(generated) == len(interpreted)
+            for got, want in zip(generated, interpreted):
+                assert got.kernel is want.kernel
+                assert got.reads_previous == want.reads_previous
+                assert got.dims.shape == want.dims.shape
+                assert np.array_equal(got.dims, want.dims)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_codegen_executor_bit_equal_to_plan_execute(family):
+    expression = get_expression(family)
+    rng_seed = 11
+    instances = [
+        tuple(random.Random(rng_seed + i).randint(2, 24)
+              for _ in range(expression.n_dims))
+        for i in range(3)
+    ]
+    for plan, algorithm in zip(expression.plans(), expression.algorithms()):
+        code = compiled_plan(plan)
+        for i, instance in enumerate(instances):
+            operands = expression.make_operands(
+                instance, np.random.default_rng(rng_seed + i)
+            )
+            interpreted = plan.execute(operands)
+            generated = code.execute(operands)
+            assert generated.dtype == interpreted.dtype
+            assert np.array_equal(generated, interpreted)
+            # The Algorithm's executor routes through the provider.
+            assert np.array_equal(algorithm.execute(operands), interpreted)
+
+
+def test_no_codegen_env_falls_back_to_interpreter(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+    assert not codegen_enabled()
+    expression = get_expression("aatb")
+    arr = _instance_batches(expression.n_dims)[0]
+    for algorithm in expression.algorithms():
+        # The provider answers None: batch paths use the interpreter.
+        assert algorithm.flops_batch_function() is None
+        assert (
+            algorithm.flops_batch(arr).tolist()
+            == _interpreted_flops(algorithm, arr).tolist()
+        )
+        generated = algorithm.kernel_call_batches(arr)
+        interpreted = _interpreted_batches(algorithm, arr)
+        for got, want in zip(generated, interpreted):
+            assert got.kernel is want.kernel
+            assert np.array_equal(got.dims, want.dims)
+    # Executors still work (interpreted Plan.execute fallback).
+    operands = expression.make_operands((4, 5, 6), np.random.default_rng(0))
+    reference = expression.reference(operands)
+    for algorithm in expression.algorithms():
+        assert np.allclose(algorithm.execute(operands), reference)
+    monkeypatch.delenv("REPRO_NO_CODEGEN")
+    assert codegen_enabled()
+
+
+def test_plan_cache_and_flops_sharing_stats():
+    clear_codegen_caches()
+    expression = get_expression("aatb")
+    plans = expression.plans()
+    codes = [compiled_plan(p) for p in plans]
+    stats = codegen_stats()
+    assert stats["plans_compiled"] == len(plans)
+    assert stats["plan_cache_size"] == len(plans)
+    # aatb's five plans hold only three distinct FLOP polynomials
+    # (aatb-1/2 share one, aatb-3/4 share another): plans with equal
+    # polynomials share one compiled function *object*.
+    assert stats["flops_functions"] == 3
+    assert stats["flops_fns_shared"] == 2
+    assert codes[0].flops is codes[1].flops
+    assert codes[2].flops is codes[3].flops
+    assert codes[0].flops is not codes[2].flops
+    # Re-compiling an identical plan is a cache hit, not a rebuild.
+    before = codegen_stats()["plan_cache_hits"]
+    again = compiled_plan(plans[0])
+    assert again is codes[0]
+    assert codegen_stats()["plan_cache_hits"] == before + 1
+
+
+def test_plan_signature_distinguishes_schedules():
+    chain = get_expression("chain4")
+    names = [a.name for a in chain.algorithms()]
+    left = names.index("chain4-3:(AB)(CD)/left-first")
+    right = names.index("chain4-3:(AB)(CD)/right-first")
+    signatures = [plan_signature(p) for p in chain.plans()]
+    # Different schedules of one tree are distinct plans (their step
+    # order differs), and all six chain4 algorithms are distinct.
+    assert signatures[left] != signatures[right]
+    assert len(set(signatures)) == len(signatures)
+
+
+def test_size_expr_polynomial_identities():
+    d0, d1, d2 = dim_symbols(3)
+    expr = 2 * d0 * d1 + d0 * d1 + 3
+    assert isinstance(expr, SizeExpr)
+    assert expr.size_hint((5, 7, 11)) == 3 * 5 * 7 + 3
+    assert expr.used_dims() == (0, 1)
+    assert (d0 + 0) == d0 and (d0 * 1) == d0
+    # Column evaluation is exact int64.
+    arr = np.asarray([[2, 3, 4], [100, 200, 300]], dtype=np.int64)
+    got = expr.evaluate_columns(arr)
+    assert got.dtype == np.int64
+    assert got.tolist() == [2 * 2 * 3 + 2 * 3 + 3, 3 * 100 * 200 + 3]
+    # Rendered source round-trips through eval over the same columns.
+    source = expr.render(lambda d: f"c{d}")
+    namespace = {f"c{i}": arr[:, i] for i in range(3)}
+    assert eval(source, {"__builtins__": {}}, namespace).tolist() == got.tolist()

@@ -107,10 +107,18 @@ def test_aatb_flop_polynomials_match_hand_derivation():
         assert poly.render(("d0", "d1", "d2")) == AATB_POLYS[algorithm.name]
 
 
+@pytest.mark.parametrize("mode", ["codegen", "interpreter"])
 @pytest.mark.parametrize("expression_name", sorted(PAYLOAD_SHA256))
 def test_quick_study_payloads_byte_identical_to_pre_refactor(
-    expression_name,
+    expression_name, mode, monkeypatch
 ):
+    # The generated batch evaluators (repro.expressions.codegen) and
+    # the interpreted fallback must hit the *same* pre-refactor digest:
+    # codegen is a pure perf optimisation, never a semantic change.
+    if mode == "interpreter":
+        monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_CODEGEN", raising=False)
     key = StudyKey("quick", 0, expression_name)
     config = FigureConfig(scale="quick", seed=0)
     text = encode_study(key, *compute_study_results(config, expression_name))
