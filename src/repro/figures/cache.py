@@ -57,6 +57,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
@@ -66,6 +67,7 @@ from repro.core.classify import Verdict
 from repro.experiments.prediction import Prediction, PredictionRecord
 from repro.experiments.random_search import Anomaly, SearchResult
 from repro.experiments.regions import DimExtent, Region, RegionCell, Regions
+from repro.resilience import faults
 
 #: Bump when the payload layout or the producing pipeline changes.
 #: v2: study keys (and payloads) carry the search ``box`` name.
@@ -365,7 +367,20 @@ class StudyStore:
         raise NotImplementedError
 
     def load(self, key: StudyKey) -> Optional[dict]:
+        kind = faults.inject("store.load")
+        if kind == "delay":
+            time.sleep(faults.delay_seconds())
+        elif kind in ("reset", "error"):
+            raise OSError(f"injected fault: store.load {kind}")
         text = self.load_text(key)
+        if text is not None and kind in ("corrupt", "torn"):
+            # A corrupted or truncated entry must decode to None — a
+            # cache miss — so callers recompute and heal the store.
+            text = (
+                faults.corrupt_text(text)
+                if kind == "corrupt"
+                else text[: len(text) // 2]
+            )
         return None if text is None else decode_study(text, key)
 
     def save(
@@ -376,9 +391,22 @@ class StudyStore:
         prediction: Prediction,
         confusion: ConfusionMatrix,
     ) -> None:
-        self.save_text(
-            key, encode_study(key, search, regions, prediction, confusion)
-        )
+        text = encode_study(key, search, regions, prediction, confusion)
+        kind = faults.inject("store.save")
+        if kind == "delay":
+            time.sleep(faults.delay_seconds())
+        elif kind in ("reset", "error"):
+            raise OSError(f"injected fault: store.save {kind}")
+        elif kind in ("corrupt", "torn"):
+            # Persist a damaged payload: the next load must treat it
+            # as a miss and the recompute path must overwrite it with
+            # the byte-identical canonical text.
+            text = (
+                faults.corrupt_text(text)
+                if kind == "corrupt"
+                else text[: len(text) // 2]
+            )
+        self.save_text(key, text)
 
     def raw_payload(self, key: StudyKey) -> Optional[str]:
         """The stored text for a key (testing / equality checks)."""

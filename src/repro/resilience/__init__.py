@@ -1,0 +1,56 @@
+"""Resilience: retries, circuit breaking, and deterministic faults.
+
+The reproduction grew into a distributed system — a selection service,
+a remote TCP study store, a process-pool runner — and this package is
+the one shared layer its failure behavior goes through:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  deterministic seeded jitter, and an overall deadline.  Wrapped
+  around remote-store round trips and the runner's sequential
+  resubmission after a broken worker pool.
+* :class:`CircuitBreaker` — closed → open after N consecutive
+  failures, a half-open probe after a recovery window, so a dead
+  store server costs one short-circuited check per call instead of a
+  full connect timeout.
+* :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness.  A seeded :class:`FaultPlan` keyed by *site*
+  (``remote.send``, ``store.load``, ``worker.run``, …) injects
+  connection resets, torn frames, delays, corrupt payloads and worker
+  crashes, activated via the ``REPRO_FAULTS`` environment variable —
+  so chaos tests can assert that study payloads stay byte-identical
+  and selections index-identical under every fault schedule.
+
+Everything here is deterministic by construction: backoff jitter and
+fault schedules derive from seeds, never from wall-clock entropy, so a
+chaos run is exactly reproducible.
+"""
+
+from repro.resilience.breaker import BreakerOpen, CircuitBreaker
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    corrupt_text,
+    delay_seconds,
+    inject,
+    injected_stats,
+    set_plan,
+)
+from repro.resilience.policy import RetryError, RetryPolicy
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "RetryError",
+    "RetryPolicy",
+    "active_plan",
+    "corrupt_text",
+    "delay_seconds",
+    "inject",
+    "injected_stats",
+    "set_plan",
+]

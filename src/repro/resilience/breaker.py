@@ -1,0 +1,119 @@
+"""Circuit breaker: stop paying for a dependency that is down.
+
+Classic three-state machine around an unreliable call site:
+
+* **closed** — calls flow; consecutive failures are counted, and the
+  Nth in a row opens the circuit.
+* **open** — calls are refused instantly (:meth:`CircuitBreaker.allow`
+  returns False) until a recovery window has elapsed.  This is the
+  whole point: a dead store server costs one dictionary lookup per
+  call instead of a full connect timeout.
+* **half-open** — after the window, exactly one probe call is let
+  through; success closes the circuit, failure re-opens it for
+  another window.
+
+The clock is injectable so tests drive the recovery window
+deterministically instead of sleeping through it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+
+class BreakerOpen(Exception):
+    """Raised by :meth:`CircuitBreaker.acquire` while the circuit is open."""
+
+
+class CircuitBreaker:
+    """Closed → open after N consecutive failures; half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_seconds < 0:
+            raise ValueError(
+                f"recovery_seconds must be >= 0, got {recovery_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.clock = clock
+        self.name = name
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.short_circuited = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: (state, at_seconds) history, newest last (bounded).
+        self.transitions: List[Tuple[str, float]] = []
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        self.transitions.append((state, self.clock()))
+        del self.transitions[:-32]  # keep the tail only
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts refusals)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self._opened_at >= self.recovery_seconds:
+                self._transition("half-open")
+                self._probe_inflight = True
+                return True  # the probe
+            self.short_circuited += 1
+            return False
+        # half-open: one probe at a time.
+        if self._probe_inflight:
+            self.short_circuited += 1
+            return False
+        self._probe_inflight = True
+        return True
+
+    def acquire(self) -> None:
+        """:meth:`allow` as an exception, for ``raise``-style callers."""
+        if not self.allow():
+            raise BreakerOpen(
+                f"circuit {self.name or 'breaker'} is {self.state} "
+                f"({self.consecutive_failures} consecutive failures)"
+            )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        self._transition("closed")
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state == "half-open":
+            # The probe failed: straight back to open, fresh window.
+            self._opened_at = self.clock()
+            self._transition("open")
+        elif (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self.clock()
+            self._transition("open")
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "recovery_seconds": self.recovery_seconds,
+            "short_circuited": self.short_circuited,
+            "transitions": [state for state, _at in self.transitions],
+        }

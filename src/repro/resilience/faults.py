@@ -1,0 +1,288 @@
+"""Deterministic fault injection, keyed by named sites.
+
+A :class:`FaultPlan` is a seeded schedule of failures for the
+infrastructure, in the same spirit as the ablation studies for the
+science: perturb the system, then assert its *answers* did not change
+— study payloads stay byte-identical, selections index-identical.
+
+Sites are stable dotted names at the places failures really happen:
+
+=================== ====================================================
+``remote.send``     client → store-server round trip (before send)
+``remote.recv``     client receiving the response
+``server.respond``  store server writing a response frame
+``store.load``      any :class:`~repro.figures.cache.StudyStore` load
+``store.save``      any store save
+``worker.run``      a runner worker starting a study
+``service.request`` the selection service dispatching a request
+=================== ====================================================
+
+Kinds: ``reset`` (connection reset), ``torn`` (partial frame then
+drop), ``delay`` (sleep :attr:`FaultPlan.delay` seconds), ``corrupt``
+(payload mangled), ``crash`` (worker process exits hard; applied only
+inside child processes), ``error`` (an injected exception).  Each site
+realizes the kinds that make sense for it and ignores the rest.
+
+Activation: set ``REPRO_FAULTS``, e.g.::
+
+    REPRO_FAULTS="seed=7;delay=0.05;remote.send=reset:2;store.load=corrupt:*@0.5"
+
+``seed=N`` seeds the schedule, ``delay=S`` sets the delay-fault
+duration, and every other clause is ``site=kind[:times][@rate]`` —
+inject ``kind`` at ``site`` for the first ``times`` eligible calls
+(``*`` = unlimited, default 1), where a call is eligible with
+probability ``rate`` (default 1.0) decided by a pure hash of
+``(seed, site, call_index)``.  The whole schedule is a deterministic
+function of the plan, never of wall-clock entropy: the same plan
+against the same workload injects the same faults.
+
+Decisions and counters are per process (workers inherit the
+environment, so a plan follows a runner into its pool).  Tests can
+bypass the environment with :func:`set_plan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+log = logging.getLogger("repro.resilience")
+
+#: Environment variable holding a fault-plan spec; empty/unset = off.
+FAULTS_ENV = "REPRO_FAULTS"
+
+KINDS = ("reset", "torn", "delay", "corrupt", "crash", "error")
+
+SITES = (
+    "remote.send",
+    "remote.recv",
+    "server.respond",
+    "store.load",
+    "store.save",
+    "worker.run",
+    "service.request",
+)
+
+_SYNTAX = (
+    "clauses are ';'-separated: 'seed=N', 'delay=S', or "
+    "'site=kind[:times][@rate]' with site in "
+    + "/".join(SITES)
+    + " and kind in "
+    + "/".join(KINDS)
+)
+
+#: Default duration of an injected ``delay`` fault, seconds.
+DEFAULT_DELAY = 0.01
+
+
+def _fraction(seed: int, site: str, index: int) -> float:
+    digest = hashlib.blake2b(
+        f"faults:{seed}:{site}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def corrupt_text(text: str) -> str:
+    """Deterministically mangle a payload so any parser rejects it."""
+    return "\x00chaos\x00" + text
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Inject ``kind`` at ``site`` ``times`` times at ``rate``."""
+
+    site: str
+    kind: str
+    times: Optional[int] = 1  # None = unlimited
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: "
+                + "/".join(SITES)
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: "
+                + "/".join(KINDS)
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or '*', got {self.times}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+
+
+class FaultPlan:
+    """A seeded, per-site fault schedule with per-process counters."""
+
+    def __init__(
+        self,
+        rules: Tuple[FaultRule, ...] = (),
+        seed: int = 0,
+        delay: float = DEFAULT_DELAY,
+    ) -> None:
+        by_site: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.site in by_site:
+                raise ValueError(
+                    f"duplicate fault rule for site {rule.site!r}"
+                )
+            by_site[rule.site] = rule
+        self.rules = by_site
+        self.seed = seed
+        self.delay = delay
+        self._calls: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {}
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """A plan from the ``REPRO_FAULTS`` clause syntax."""
+        seed = 0
+        delay = DEFAULT_DELAY
+        rules = []
+        for clause in re.split(r"[;,]", spec):
+            clause = clause.strip()
+            if not clause:
+                continue
+            name, sep, value = clause.partition("=")
+            name, value = name.strip(), value.strip()
+            if not sep or not name or not value:
+                raise ValueError(
+                    f"malformed fault clause {clause!r}; {_SYNTAX}"
+                )
+            if name == "seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"seed must be an integer, got {value!r}"
+                    ) from None
+                continue
+            if name == "delay":
+                try:
+                    delay = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"delay must be a number, got {value!r}"
+                    ) from None
+                continue
+            spec_part, _at, rate_part = value.partition("@")
+            kind, _colon, times_part = spec_part.partition(":")
+            times: Optional[int] = 1
+            if times_part:
+                if times_part == "*":
+                    times = None
+                else:
+                    try:
+                        times = int(times_part)
+                    except ValueError:
+                        raise ValueError(
+                            f"times must be an integer or '*', "
+                            f"got {times_part!r}"
+                        ) from None
+            rate = 1.0
+            if rate_part:
+                try:
+                    rate = float(rate_part)
+                except ValueError:
+                    raise ValueError(
+                        f"rate must be a number, got {rate_part!r}"
+                    ) from None
+            rules.append(
+                FaultRule(site=name, kind=kind.strip(), times=times, rate=rate)
+            )
+        return cls(tuple(rules), seed=seed, delay=delay)
+
+    def decide(self, site: str) -> Optional[str]:
+        """The fault kind to inject for this call at ``site``, or None.
+
+        Advances the site's call counter either way, so the schedule
+        is a function of call order alone.
+        """
+        rule = self.rules.get(site)
+        if rule is None:
+            return None
+        index = self._calls.get(site, 0)
+        self._calls[site] = index + 1
+        injected = self._injected.get(site, 0)
+        if rule.times is not None and injected >= rule.times:
+            return None
+        if rule.rate < 1.0 and _fraction(self.seed, site, index) >= rule.rate:
+            return None
+        self._injected[site] = injected + 1
+        return rule.kind
+
+    def stats(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": {
+                site: f"{rule.kind}:{'*' if rule.times is None else rule.times}"
+                + (f"@{rule.rate}" if rule.rate < 1.0 else "")
+                for site, rule in self.rules.items()
+            },
+            "calls": dict(self._calls),
+            "injected": dict(self._injected),
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation (explicit plan, or the environment)
+# ----------------------------------------------------------------------
+
+_explicit: Optional[FaultPlan] = None
+_env_plan: Optional[FaultPlan] = None
+_env_raw: Optional[str] = None
+
+
+def set_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate a plan directly (tests); None restores env control."""
+    global _explicit
+    _explicit = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in force: :func:`set_plan`'s, else ``REPRO_FAULTS``.
+
+    The environment string is re-checked on every call (it is one dict
+    probe) but parsed only when it changes; an unparseable value is
+    logged once and treated as no plan — fault injection must never
+    take the pipeline down by itself.
+    """
+    global _env_plan, _env_raw
+    if _explicit is not None:
+        return _explicit
+    raw = os.environ.get(FAULTS_ENV, "")
+    if raw != _env_raw:
+        _env_raw = raw
+        if not raw.strip():
+            _env_plan = None
+        else:
+            try:
+                _env_plan = FaultPlan.parse(raw)
+            except ValueError as exc:
+                log.error("ignoring invalid %s: %s", FAULTS_ENV, exc)
+                _env_plan = None
+    return _env_plan
+
+
+def inject(site: str) -> Optional[str]:
+    """The fault kind to apply at ``site`` now, or None (the hot path)."""
+    plan = active_plan()
+    return None if plan is None else plan.decide(site)
+
+
+def delay_seconds() -> float:
+    """Duration a ``delay`` fault should sleep."""
+    plan = active_plan()
+    return DEFAULT_DELAY if plan is None else plan.delay
+
+
+def injected_stats() -> dict:
+    """The active plan's counters (for ``GET /stats``); {} when off."""
+    plan = active_plan()
+    return {} if plan is None else plan.stats()

@@ -1,0 +1,132 @@
+"""Bounded retries: exponential backoff with deterministic jitter.
+
+A :class:`RetryPolicy` is an immutable description of *how* to retry —
+how many attempts, how the delay grows, how much seeded jitter spreads
+simultaneous retriers, and how much total time the whole loop may
+spend.  The jitter is a pure function of ``(seed, site, attempt)``
+(the same blake2b-mixing idiom the noise model uses), so two runs of
+the same schedule sleep identically and a chaos test replays exactly.
+
+Per-attempt timeouts are advisory here: a synchronous call cannot be
+preempted from the outside, so callers enforce them at the I/O layer
+(the remote store sets its socket timeout from
+:attr:`RetryPolicy.attempt_timeout`) while the policy enforces the
+*overall* deadline by refusing to launch an attempt that no longer
+fits the budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryError(Exception):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, site: str, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"{site or 'call'} failed after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.last = last
+
+
+def _fraction(seed: int, site: str, index: int) -> float:
+    """Deterministic uniform [0, 1) from (seed, site, index)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{site}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts, exponential backoff, seeded jitter, deadline."""
+
+    #: Total attempts (1 = no retries).
+    attempts: int = 3
+    #: Delay before the first retry, seconds.
+    base_delay: float = 0.02
+    #: Backoff growth per retry.
+    multiplier: float = 2.0
+    #: Cap on any single delay, seconds.
+    max_delay: float = 1.0
+    #: Jitter fraction: each delay is scaled by ``1 + U * jitter``
+    #: with ``U`` deterministic in [0, 1).
+    jitter: float = 0.5
+    #: Seed of the jitter stream.
+    seed: int = 0
+    #: Overall wall-clock budget across all attempts and sleeps,
+    #: seconds; None = unbounded.
+    deadline: Optional[float] = None
+    #: Advisory per-attempt timeout for callers that can enforce one
+    #: (e.g. a socket timeout); None = caller default.
+    attempt_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def backoff(self, site: str, retry_index: int) -> float:
+        """The delay before retry ``retry_index`` (0 = first retry)."""
+        delay = min(
+            self.base_delay * self.multiplier**retry_index, self.max_delay
+        )
+        return delay * (1.0 + _fraction(self.seed, site, retry_index) * self.jitter)
+
+    def delays(self, site: str) -> Tuple[float, ...]:
+        """Every inter-attempt delay of a full schedule, in order."""
+        return tuple(
+            self.backoff(site, index) for index in range(self.attempts - 1)
+        )
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        site: str = "",
+        retriable: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Call ``fn`` under this policy; raise :class:`RetryError`.
+
+        ``on_retry(attempt_index, error)`` fires before each sleep —
+        callers use it to count retries for their stats.  A
+        non-retriable exception propagates immediately.
+        """
+        start = clock()
+        last: Optional[BaseException] = None
+        made = 0
+        for attempt in range(self.attempts):
+            if attempt:
+                delay = self.backoff(site, attempt - 1)
+                if (
+                    self.deadline is not None
+                    and clock() - start + delay >= self.deadline
+                ):
+                    break  # the budget no longer fits another attempt
+                if on_retry is not None:
+                    on_retry(attempt, last)  # type: ignore[arg-type]
+                sleep(delay)
+            made += 1
+            try:
+                return fn()
+            except retriable as exc:
+                last = exc
+                if (
+                    self.deadline is not None
+                    and clock() - start >= self.deadline
+                ):
+                    break
+        assert last is not None
+        raise RetryError(site, made, last)

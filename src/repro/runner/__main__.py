@@ -131,6 +131,20 @@ def _positive_jobs(raw: str) -> int:
     return value
 
 
+def _positive_retries(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--retries takes a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--retries must be >= 1, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
@@ -185,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"store directory, or host:port with --store remote "
         f"(default: ${CACHE_DIR_ENV})",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_positive_retries,
+        default=2,
+        metavar="N",
+        help="in-process attempts per key when salvaging a broken "
+        "worker pool (default: 2)",
     )
     parser.add_argument(
         "--extra",
@@ -306,7 +328,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(key.slug)
         return 0
     runner = StudyRunner(
-        cache_dir=cache_dir, store=args.store, jobs=args.jobs
+        cache_dir=cache_dir,
+        store=args.store,
+        jobs=args.jobs,
+        retries=args.retries,
     )
     report = runner.run(keys)
     for outcome in report.outcomes:

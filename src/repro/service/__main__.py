@@ -20,8 +20,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
+import signal
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.searchspace import NAMED_BOXES
@@ -107,6 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPR",
         help="expressions whose studies to pre-load before serving",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=_positive_int,
+        default=None,
+        metavar="MS",
+        help="per-request deadline in milliseconds; overruns answer "
+        "503 (default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shed selection requests beyond N in flight with an "
+        "immediate 503 (default: unbounded)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="total attempts per remote-store round trip "
+        "(default: the store's policy, 3; only with --store remote)",
+    )
     return parser
 
 
@@ -119,7 +146,10 @@ def _build_store(args: argparse.Namespace) -> Optional[StudyStore]:
             f"error: --store {args.store} needs --cache-dir or "
             f"${CACHE_DIR_ENV}"
         )
-    return make_store(args.store, cache_dir)
+    store = make_store(args.store, cache_dir)
+    if args.retries is not None and hasattr(store, "retry"):
+        store.retry = replace(store.retry, attempts=args.retries)
+    return store
 
 
 async def _serve(service: SelectionService, warm: List[str]) -> None:
@@ -129,7 +159,20 @@ async def _serve(service: SelectionService, warm: List[str]) -> None:
         for name, source in zip(warm, sources):
             print(f"warmed {name}: {source}", flush=True)
     print(f"selection service listening on {service.address}", flush=True)
-    await service.serve_forever()
+    # start() already accepts connections; all that remains is to wait
+    # for a shutdown signal, then drain: stop accepting, finish every
+    # in-flight request (zero dropped responses), flush final stats.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without loop signal handlers
+    await stop.wait()
+    print("draining (SIGTERM/SIGINT): stopped accepting", flush=True)
+    final = await service.drain()
+    print(f"drained: {json.dumps(final)}", flush=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -147,7 +190,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
-    service = SelectionService(engine, host=args.host, port=args.port)
+    service = SelectionService(
+        engine,
+        host=args.host,
+        port=args.port,
+        deadline=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        max_inflight=args.max_inflight,
+    )
     try:
         asyncio.run(_serve(service, list(args.warm)))
     except KeyboardInterrupt:

@@ -205,15 +205,21 @@ class StudyProvider:
         return study, source
 
     def stats(self) -> dict:
+        store_stats = {
+            "kind": self.store.kind if self.store is not None else None,
+            "hits": self.store_hits,
+            "misses": self.store_misses,
+            "errors": self.store_errors,
+            "computed_locally": self.computed,
+        }
+        # The remote backend carries retry/breaker counters; surface
+        # them so GET /stats shows how hard the store is degrading.
+        resilience = getattr(self.store, "resilience_stats", None)
+        if callable(resilience):
+            store_stats["resilience"] = resilience()
         return {
             "lru": self.lru.stats(),
-            "store": {
-                "kind": self.store.kind if self.store is not None else None,
-                "hits": self.store_hits,
-                "misses": self.store_misses,
-                "errors": self.store_errors,
-                "computed_locally": self.computed,
-            },
+            "store": store_stats,
         }
 
 

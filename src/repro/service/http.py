@@ -18,6 +18,22 @@ Every response is JSON.  Routes:
 Client errors (unknown expression/discriminant, malformed dims or
 JSON) are HTTP 400 with ``{"error": ...}``; unexpected failures are
 logged and answered 500 without tearing down the connection.
+
+Overload and shutdown are first-class (the resilience layer):
+
+* a per-request **deadline** answers 503 ``deadline exceeded`` when a
+  dispatch overruns its budget;
+* a **max-inflight** bound sheds excess load with an immediate 503
+  instead of queueing without limit;
+* :meth:`SelectionService.drain` (wired to SIGTERM by the CLI) stops
+  accepting, lets every in-flight request finish and flush its
+  response — zero dropped answers — then closes idle keep-alive
+  connections and reports final stats.
+
+``GET /stats`` carries a ``resilience`` section: shed and
+deadline-exceeded counters, the study store's retry/breaker state
+(when the store is remote), and the active fault plan's injection
+counters.
 """
 
 from __future__ import annotations
@@ -26,8 +42,9 @@ import asyncio
 import json
 import logging
 import time
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 
+from repro.resilience import faults
 from repro.service.batching import SelectionBatcher
 from repro.service.engine import SelectionEngine, SelectionError
 
@@ -40,6 +57,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Largest accepted request body.
@@ -62,19 +80,35 @@ class SelectionService:
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch: int = 1024,
+        deadline: Optional[float] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self.engine = engine
         self.batcher = SelectionBatcher(engine, max_batch=max_batch)
         self.host = host
         self.port = port
+        self.deadline = deadline
+        self.max_inflight = max_inflight
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.monotonic()
+        self._inflight = 0
+        self._quiet: Optional[asyncio.Event] = None  # set when inflight==0
+        self._draining = False
+        self._conn_tasks: Set[asyncio.Task] = set()
         self.request_counts = {
             "select": 0,
             "select_batch": 0,
             "stats": 0,
             "health": 0,
             "errors": 0,
+            "shed": 0,
+            "deadline_exceeded": 0,
         }
 
     async def start(self) -> "SelectionService":
@@ -84,6 +118,8 @@ class SelectionService:
         # Port 0 means "pick one"; report what the OS picked.
         self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.monotonic()
+        self._quiet = asyncio.Event()
+        self._quiet.set()
         return self
 
     async def serve_forever(self) -> None:
@@ -98,9 +134,45 @@ class SelectionService:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self) -> dict:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        The SIGTERM path.  Closes the listener first (no new
+        connections), waits for every in-flight request to write its
+        response — zero dropped answers — then closes the idle
+        keep-alive connections that are parked waiting for a next
+        request.  Returns the final stats snapshot so the caller can
+        flush it.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._quiet is not None and self._inflight:
+            self._quiet.clear()
+            await self._quiet.wait()
+        # Nothing is mid-request now; connections still open are idle
+        # readers, and responses already carried ``Connection: close``.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        return self.stats()
+
     @property
     def address(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    def _begin_request(self) -> None:
+        self._inflight += 1
+        if self._quiet is not None:
+            self._quiet.clear()
+
+    def _end_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0 and self._quiet is not None:
+            self._quiet.set()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -109,6 +181,9 @@ class SelectionService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 try:
@@ -122,8 +197,14 @@ class SelectionService:
                 if request is None:
                     break
                 method, path, body, keep_alive = request
-                status, payload = await self._dispatch(method, path, body)
-                await self._respond(writer, status, payload, keep_alive)
+                self._begin_request()
+                try:
+                    status, payload = await self._answer(method, path, body)
+                    if self._draining:
+                        keep_alive = False  # finish this one, then close
+                    await self._respond(writer, status, payload, keep_alive)
+                finally:
+                    self._end_request()
                 if not keep_alive:
                     break
         except (
@@ -136,6 +217,8 @@ class SelectionService:
         except asyncio.CancelledError:
             pass  # server shutdown with this keep-alive connection open
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -214,11 +297,56 @@ class SelectionService:
     # Routing
     # ------------------------------------------------------------------
 
+    async def _answer(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        """Dispatch under the overload policy: shed, then deadline.
+
+        Only the selection routes are subject to shedding and
+        deadlines — ``/stats`` and ``/healthz`` must stay observable
+        exactly when the service is struggling.
+        """
+        route = path.split("?", 1)[0]
+        if route in ("/select", "/select_batch"):
+            if (
+                self.max_inflight is not None
+                and self._inflight > self.max_inflight
+            ):
+                self.request_counts["shed"] += 1
+                self.request_counts["errors"] += 1
+                return 503, {
+                    "error": (
+                        f"overloaded: {self._inflight} requests in flight "
+                        f"(max {self.max_inflight})"
+                    )
+                }
+            if self.deadline is not None:
+                try:
+                    return await asyncio.wait_for(
+                        self._dispatch(method, path, body),
+                        timeout=self.deadline,
+                    )
+                except asyncio.TimeoutError:
+                    self.request_counts["deadline_exceeded"] += 1
+                    self.request_counts["errors"] += 1
+                    return 503, {
+                        "error": (
+                            f"deadline exceeded "
+                            f"({self.deadline * 1000:.0f} ms)"
+                        )
+                    }
+        return await self._dispatch(method, path, body)
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, dict]:
         path = path.split("?", 1)[0]
         try:
+            kind = faults.inject("service.request")
+            if kind == "delay":
+                await asyncio.sleep(faults.delay_seconds())
+            elif kind is not None:
+                raise RuntimeError(f"injected fault: service.request {kind}")
             if path == "/select":
                 if method != "POST":
                     return self._error(405, "POST /select")
@@ -290,5 +418,16 @@ class SelectionService:
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "requests": dict(self.request_counts),
             "batch": self.batcher.stats(),
+            "resilience": {
+                "deadline_seconds": self.deadline,
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "draining": self._draining,
+                "shed": self.request_counts["shed"],
+                "deadline_exceeded": self.request_counts[
+                    "deadline_exceeded"
+                ],
+                "faults": faults.injected_stats(),
+            },
             **self.engine.stats(),
         }

@@ -24,11 +24,23 @@ The payload is the *canonical study text* of
 :func:`repro.figures.cache.encode_study`, relayed opaquely in both
 directions — so a study that crossed the wire is byte-identical to one
 written by a local store, and the server never re-encodes anything.
+The length prefix is bounded on **both** ends (:data:`MAX_FRAME_BYTES`):
+an oversize prefix is a clear protocol error, never an unbounded read
+or allocation.
 
 :class:`RemoteStudyStore` is a keyed read-through client honouring the
-best-effort store contract: an unreachable or misbehaving server is a
-cache miss (load) or a no-op (save) with a log line, never a pipeline
-error — callers degrade to local computation and keep going.
+best-effort store contract through the shared resilience layer: each
+round trip runs under a :class:`~repro.resilience.RetryPolicy`
+(transient transport failures — a stale keep-alive socket, a dropped
+frame — are retried with deterministic backoff), and a
+:class:`~repro.resilience.CircuitBreaker` opens after consecutive
+transport failures so a dead server costs a dictionary lookup per call
+instead of a connect timeout.  Exhausted retries and an open breaker
+are a cache miss (load) or a no-op (save) with a log line, never a
+pipeline error — callers degrade to local computation and keep going.
+
+Fault sites (:mod:`repro.resilience.faults`): ``remote.send`` /
+``remote.recv`` on the client, ``server.respond`` on the server.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ import json
 import logging
 import socket
 import struct
+import time
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -46,24 +59,37 @@ from repro.figures.cache import (
     StudyStore,
     register_store_kind,
 )
+from repro.resilience import CircuitBreaker, RetryError, RetryPolicy, faults
 
 log = logging.getLogger("repro.service")
 
 _HEADER = struct.Struct(">I")
 
-#: Upper bound on one frame; a quick-scale study is ~100 KiB and a
-#: full-scale one a few MiB, so this is generous headroom, not a limit
-#: anyone should meet.
+#: Upper bound on one frame, enforced by client and server alike; a
+#: quick-scale study is ~100 KiB and a full-scale one a few MiB, so
+#: this is generous headroom, not a limit anyone should meet.
 MAX_FRAME_BYTES = 64 << 20
 
 #: Client-side socket timeout (connect and per-call), seconds.
 DEFAULT_TIMEOUT = 5.0
 
+#: Default retry schedule of a remote round trip.
+DEFAULT_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.02, multiplier=2.0, max_delay=0.25
+)
+
+#: Default breaker: open after 5 consecutive transport failures,
+#: half-open probe after 5 seconds.
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_RECOVERY = 5.0
+
 
 def encode_frame(message: dict) -> bytes:
     data = json.dumps(message, separators=(",", ":")).encode()
     if len(data) > MAX_FRAME_BYTES:
-        raise ValueError(f"frame too large: {len(data)} bytes")
+        raise ValueError(
+            f"frame too large: {len(data)} bytes (max {MAX_FRAME_BYTES})"
+        )
     return _HEADER.pack(len(data)) + data
 
 
@@ -104,37 +130,45 @@ def _key_from_payload(payload: dict) -> StudyKey:
 class RemoteStudyStore(StudyStore):
     """Keyed read-through client of a study-store server.
 
-    One persistent connection per store instance, re-established once
-    per call on a stale socket.  Every failure path degrades to a miss
-    or a no-op per the :class:`StudyStore` best-effort contract.
+    One persistent connection per store instance, re-established per
+    retry attempt on a stale socket.  Every failure path degrades to a
+    miss or a no-op per the :class:`StudyStore` best-effort contract;
+    the retry policy and circuit breaker decide how hard to try first.
     """
 
     kind = "remote"
 
     def __init__(
-        self, target: Union[str, Path], timeout: float = DEFAULT_TIMEOUT
+        self,
+        target: Union[str, Path],
+        timeout: float = DEFAULT_TIMEOUT,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.host, self.port = parse_address(target)
         self.timeout = timeout
         self._sock: Optional[socket.socket] = None
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=DEFAULT_BREAKER_THRESHOLD,
+            recovery_seconds=DEFAULT_BREAKER_RECOVERY,
+            name=f"remote:{self.address}",
+        )
+        self.retries = 0
+        self.transport_failures = 0
+        self.protocol_rejections = 0
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
-    def _connect(self) -> Optional[socket.socket]:
+    def _connect(self) -> socket.socket:
         if self._sock is not None:
             return self._sock
-        try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
-        except OSError as exc:
-            log.warning(
-                "remote store %s unreachable (%s); degrading to misses",
-                self.address, exc,
-            )
-            return None
+        timeout = self.retry.attempt_timeout or self.timeout
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout
+        )
         self._sock = sock
         return sock
 
@@ -157,39 +191,85 @@ class RemoteStudyStore(StudyStore):
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def _request(self, message: dict) -> Optional[dict]:
-        """One round trip; None on any failure (after one reconnect)."""
-        frame = encode_frame(message)
-        for attempt in (0, 1):
-            sock = self._connect()
-            if sock is None:
-                return None
-            try:
-                sock.sendall(frame)
-                (length,) = _HEADER.unpack(self._recv_exact(sock, 4))
-                if length > MAX_FRAME_BYTES:
-                    raise ConnectionError(f"oversized frame: {length}")
-                response = json.loads(self._recv_exact(sock, length))
-            except (OSError, ConnectionError, ValueError) as exc:
-                # A stale keep-alive socket fails the first attempt;
-                # reconnect once before giving up on this call.
-                self._drop()
-                if attempt:
-                    log.warning(
-                        "remote store %s call failed (%s: %s)",
-                        self.address, type(exc).__name__, exc,
-                    )
-                    return None
-                continue
-            if not isinstance(response, dict) or not response.get("ok"):
-                log.warning(
-                    "remote store %s rejected %s: %s",
-                    self.address, message.get("op"),
-                    (response or {}).get("error"),
+    def _round_trip(self, frame: bytes) -> dict:
+        """Send one frame, read one response; raise on any failure.
+
+        The socket is dropped on every failure path, so the next
+        attempt (this call's retry, or the next store call) starts
+        from a fresh connection.
+        """
+        sock = self._connect()
+        try:
+            kind = faults.inject("remote.send")
+            if kind == "delay":
+                time.sleep(faults.delay_seconds())
+            elif kind in ("reset", "crash", "error"):
+                raise ConnectionResetError(
+                    "injected fault: remote.send reset"
                 )
-                return None
-            return response
-        return None
+            elif kind == "torn":
+                sock.sendall(frame[: max(5, len(frame) // 2)])
+                raise ConnectionError(
+                    "injected fault: remote.send torn frame"
+                )
+            elif kind == "corrupt":
+                frame = _HEADER.pack(len(frame) - 4) + b"\x00" * (
+                    len(frame) - 4
+                )
+            sock.sendall(frame)
+            kind = faults.inject("remote.recv")
+            if kind == "delay":
+                time.sleep(faults.delay_seconds())
+            elif kind is not None:
+                raise ConnectionResetError(
+                    f"injected fault: remote.recv {kind}"
+                )
+            (length,) = _HEADER.unpack(self._recv_exact(sock, 4))
+            if length > MAX_FRAME_BYTES:
+                raise ConnectionError(
+                    f"oversized response frame: {length} bytes "
+                    f"(max {MAX_FRAME_BYTES})"
+                )
+            return json.loads(self._recv_exact(sock, length))
+        except BaseException:
+            self._drop()
+            raise
+
+    def _request(self, message: dict) -> Optional[dict]:
+        """One logical request under retry + breaker; None on failure."""
+        frame = encode_frame(message)
+        if not self.breaker.allow():
+            return None  # open circuit: degrade instantly to a miss
+        try:
+            response = self.retry.run(
+                lambda: self._round_trip(frame),
+                site="remote.send",
+                retriable=(OSError, ValueError),
+                on_retry=lambda attempt, exc: self._count_retry(),
+            )
+        except RetryError as exc:
+            self.transport_failures += 1
+            self.breaker.record_failure()
+            log.warning(
+                "remote store %s call failed (%s); degrading to a miss",
+                self.address, exc,
+            )
+            return None
+        self.breaker.record_success()
+        if not isinstance(response, dict) or not response.get("ok"):
+            # A protocol-level rejection is a healthy transport: the
+            # server answered.  It never trips the breaker.
+            self.protocol_rejections += 1
+            log.warning(
+                "remote store %s rejected %s: %s",
+                self.address, message.get("op"),
+                (response or {}).get("error"),
+            )
+            return None
+        return response
+
+    def _count_retry(self) -> None:
+        self.retries += 1
 
     def ping(self) -> bool:
         return self._request({"op": "ping"}) is not None
@@ -208,6 +288,15 @@ class RemoteStudyStore(StudyStore):
             {"op": "save", "key": _key_to_payload(key), "payload": text}
         )
 
+    def resilience_stats(self) -> dict:
+        """Retry/breaker counters for ``GET /stats`` and diagnostics."""
+        return {
+            "retries": self.retries,
+            "transport_failures": self.transport_failures,
+            "protocol_rejections": self.protocol_rejections,
+            "breaker": self.breaker.stats(),
+        }
+
     def close(self) -> None:
         self._drop()
 
@@ -218,7 +307,14 @@ class RemoteStudyStore(StudyStore):
 
 
 class StudyStoreServer:
-    """Serve a backing :class:`StudyStore` over the frame protocol."""
+    """Serve a backing :class:`StudyStore` over the frame protocol.
+
+    The connection loop must survive anything a client can send:
+    truncated frames, non-JSON payloads, oversize length prefixes and
+    mid-frame disconnects are per-connection events — answered with a
+    clear error frame where a response is still possible, counted, and
+    never allowed to kill the accept loop.
+    """
 
     def __init__(
         self,
@@ -233,6 +329,8 @@ class StudyStoreServer:
         self.loads = 0
         self.saves = 0
         self.errors = 0
+        self.oversized = 0
+        self.malformed = 0
 
     async def start(self) -> "StudyStoreServer":
         self._server = await asyncio.start_server(
@@ -253,6 +351,15 @@ class StudyStoreServer:
             await self._server.wait_closed()
             self._server = None
 
+    def stats(self) -> dict:
+        return {
+            "loads": self.loads,
+            "saves": self.saves,
+            "errors": self.errors,
+            "oversized": self.oversized,
+            "malformed": self.malformed,
+        }
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -260,13 +367,48 @@ class StudyStoreServer:
             while True:
                 try:
                     header = await reader.readexactly(4)
-                except asyncio.IncompleteReadError:
-                    break  # clean end-of-stream
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        self.malformed += 1  # truncated length prefix
+                    break  # end-of-stream
                 (length,) = _HEADER.unpack(header)
                 if length > MAX_FRAME_BYTES:
-                    break  # drop abusive connections
-                data = await reader.readexactly(length)
-                writer.write(encode_frame(self._respond(data)))
+                    # Refuse with a clear error instead of attempting
+                    # an unbounded read/alloc, then drop the client —
+                    # the stream offset is unrecoverable.
+                    self.oversized += 1
+                    writer.write(encode_frame({
+                        "ok": False,
+                        "error": (
+                            f"frame length {length} exceeds "
+                            f"{MAX_FRAME_BYTES} bytes"
+                        ),
+                    }))
+                    await writer.drain()
+                    break
+                try:
+                    data = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    self.malformed += 1  # disconnected mid-frame
+                    break
+                response = encode_frame(self._respond(data))
+                kind = faults.inject("server.respond")
+                if kind == "delay":
+                    await asyncio.sleep(faults.delay_seconds())
+                    kind = None
+                if kind in ("reset", "crash", "error"):
+                    break  # drop the connection without answering
+                if kind == "corrupt":
+                    # Valid frame, garbage payload: the client's JSON
+                    # parse fails and its retry policy takes over.
+                    response = _HEADER.pack(len(response) - 4) + b"\x00" * (
+                        len(response) - 4
+                    )
+                elif kind == "torn":
+                    writer.write(response[: max(5, len(response) // 2)])
+                    await writer.drain()
+                    break
+                writer.write(response)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
@@ -287,6 +429,11 @@ class StudyStoreServer:
     def _respond(self, data: bytes) -> dict:
         try:
             request = json.loads(data)
+            if not isinstance(request, dict):
+                raise TypeError(
+                    f"request must be a JSON object, "
+                    f"got {type(request).__name__}"
+                )
             op = request.get("op")
             if op == "ping":
                 return {"ok": True, "pong": True, "store": self.backing.kind}

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -68,7 +70,19 @@ async def _serve(server: StudyStoreServer) -> None:
         f"{server.host}:{server.port}",
         flush=True,
     )
-    await server.serve_forever()
+    # SIGTERM/SIGINT stop accepting and let in-flight frames finish
+    # (server.stop waits for the listener to close); stats flush so an
+    # orchestrator's logs record what the process did.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without loop signal handlers
+    await stop.wait()
+    await server.stop()
+    print(f"store server drained: {json.dumps(server.stats())}", flush=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,378 @@
+"""Chaos suite: injected faults must never change the answers.
+
+The infrastructure analogue of the paper's ablation studies: perturb
+the system with seeded :class:`~repro.resilience.FaultPlan` schedules
+— connection resets, torn frames, corrupted payloads, delays, worker
+crashes — and assert that study payloads stay **byte-identical** and
+selections **index-identical** to the fault-free run, while the
+resilience layer (retries, circuit breaker, graceful drain) absorbs
+the damage.
+
+Every plan here is deterministic: the same seed against the same
+workload injects the same faults, so a failure replays exactly.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.figures.cache import JsonDirectoryStore, StudyKey, make_store
+from repro.resilience import (
+    CircuitBreaker,
+    FAULTS_ENV,
+    FaultPlan,
+    RetryPolicy,
+    faults,
+)
+from repro.runner.runner import StudyRunner, run_study
+from repro.service import SelectionEngine, SelectionService
+from repro.service.remote import RemoteStudyStore, StudyStoreServer
+
+KEY = StudyKey(scale="quick", seed=0, expression="aatb", box="paper_box")
+MATRIX = (
+    StudyKey("quick", 0, "aatb"),
+    StudyKey("quick", 1, "aatb"),
+)
+DIMS = [[100, 200, 300], [50, 60, 70], [1200, 1200, 1200]]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    faults.set_plan(None)
+    yield
+    faults.set_plan(None)
+
+
+@pytest.fixture(scope="module")
+def baseline_bytes(tmp_path_factory):
+    """The fault-free canonical payload bytes for KEY."""
+    root = tmp_path_factory.mktemp("baseline")
+    faults.set_plan(None)
+    assert run_study(KEY, "json", str(root)).status == "computed"
+    return JsonDirectoryStore(root).path_for(KEY).read_bytes()
+
+
+@pytest.fixture()
+def served_store(tmp_path):
+    """A StudyStoreServer over a json backing, on a live thread."""
+    backing = make_store("json", tmp_path / "backing")
+    loop = asyncio.new_event_loop()
+    server = StudyStoreServer(backing)
+    ready = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(5)
+    yield server, backing
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(5)
+    asyncio.run_coroutine_threadsafe(asyncio.sleep(0.05), loop).result(5)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(5)
+    loop.close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+async def _http(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except OSError:
+        pass
+    head_text, _, body_text = raw.partition(b"\r\n\r\n")
+    return int(head_text.split()[1]), json.loads(body_text)
+
+
+# ----------------------------------------------------------------------
+# Store chaos: payloads heal byte-identically
+# ----------------------------------------------------------------------
+
+#: Three distinct seeded plans over the local-store fault sites; each
+#: damages loads and/or saves differently, and the store must end up
+#: byte-identical to the fault-free baseline every time.
+STORE_PLANS = (
+    "seed=1;store.load=corrupt:2",
+    "seed=2;store.save=corrupt:1;store.load=torn:1",
+    "seed=3;delay=0.001;store.load=delay:2;store.save=torn:1",
+)
+
+
+@pytest.mark.parametrize("spec", STORE_PLANS)
+def test_store_chaos_heals_byte_identically(tmp_path, spec, baseline_bytes):
+    faults.set_plan(FaultPlan.parse(spec))
+    outcomes = [run_study(KEY, "json", str(tmp_path)) for _ in range(4)]
+    faults.set_plan(None)
+    # No study failed, whatever the plan broke along the way...
+    assert all(o.status in ("computed", "cached") for o in outcomes)
+    # ...and once the plan is exhausted the stored payload is exactly
+    # the fault-free one: corrupted entries became misses, recomputes
+    # overwrote them with canonical bytes.
+    path = JsonDirectoryStore(tmp_path).path_for(KEY)
+    assert path.read_bytes() == baseline_bytes
+    assert run_study(KEY, "json", str(tmp_path)).status == "cached"
+
+
+def test_corrupt_load_is_a_miss_not_a_failure(tmp_path, baseline_bytes):
+    assert run_study(KEY, "json", str(tmp_path)).status == "computed"
+    faults.set_plan(FaultPlan.parse("seed=4;store.load=corrupt:1"))
+    outcome = run_study(KEY, "json", str(tmp_path))
+    faults.set_plan(None)
+    # The entry on disk was fine; the injected corruption made the
+    # load a miss, so the study recomputed instead of failing.
+    assert outcome.status == "computed"
+    path = JsonDirectoryStore(tmp_path).path_for(KEY)
+    assert path.read_bytes() == baseline_bytes
+
+
+def test_raising_store_load_surfaces_a_note(tmp_path):
+    assert run_study(KEY, "json", str(tmp_path)).status == "computed"
+    faults.set_plan(FaultPlan.parse("seed=5;store.load=error:1"))
+    outcome = run_study(KEY, "json", str(tmp_path))
+    faults.set_plan(None)
+    assert outcome.status == "computed"
+    assert "store load failed, recomputed" in outcome.error
+
+
+# ----------------------------------------------------------------------
+# Remote-store chaos: the wire under fire
+# ----------------------------------------------------------------------
+
+#: Three distinct seeded plans over the transport fault sites; the
+#: client's retry policy must absorb each, and the payload that lands
+#: on the server must match the fault-free bytes.
+WIRE_PLANS = (
+    "seed=11;remote.send=reset:2",
+    "seed=12;remote.send=torn:1;remote.recv=reset:1",
+    "seed=13;delay=0.001;server.respond=torn:1;remote.send=delay:2",
+)
+
+
+@pytest.mark.parametrize("spec", WIRE_PLANS)
+def test_wire_chaos_payloads_stay_byte_identical(
+    served_store, spec, baseline_bytes
+):
+    server, backing = served_store
+    address = f"127.0.0.1:{server.port}"
+    faults.set_plan(FaultPlan.parse(spec))
+    outcome = run_study(KEY, "remote", address)
+    faults.set_plan(None)
+    assert outcome.status == "computed"
+    # The payload that crossed the damaged wire is byte-identical to
+    # the fault-free local one.
+    assert backing.raw_payload(KEY) == baseline_bytes.decode()
+    assert run_study(KEY, "remote", address).status == "cached"
+
+
+def test_wire_chaos_counts_retries(served_store):
+    server, _backing = served_store
+    client = RemoteStudyStore(
+        f"127.0.0.1:{server.port}",
+        retry=RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0),
+    )
+    faults.set_plan(FaultPlan.parse("seed=14;remote.send=reset:2"))
+    try:
+        assert client.ping()  # two resets absorbed by two retries
+    finally:
+        faults.set_plan(None)
+        client.close()
+    stats = client.resilience_stats()
+    assert stats["retries"] == 2
+    assert stats["transport_failures"] == 0
+    assert stats["breaker"]["state"] == "closed"
+
+
+def test_breaker_opens_then_recovers_via_half_open_probe(served_store):
+    server, _backing = served_store
+    clock = FakeClock()
+    store = RemoteStudyStore(
+        "127.0.0.1:1",  # nothing listens here
+        timeout=0.5,
+        retry=RetryPolicy(attempts=1, base_delay=0.0, jitter=0.0),
+        breaker=CircuitBreaker(
+            failure_threshold=2, recovery_seconds=30.0, clock=clock.now
+        ),
+    )
+    try:
+        assert store.load_text(KEY) is None
+        assert store.load_text(KEY) is None
+        assert store.breaker.state == "open"
+        # While open, calls short-circuit: no new transport attempts.
+        failures = store.transport_failures
+        assert store.ping() is False
+        assert store.transport_failures == failures
+        assert store.breaker.short_circuited >= 1
+        # The server "comes back" and the recovery window elapses: the
+        # half-open probe succeeds and closes the circuit.
+        store.host, store.port = "127.0.0.1", server.port
+        clock.advance(30.0)
+        assert store.ping()
+        assert store.breaker.state == "closed"
+        assert store.breaker.stats()["transitions"][-2:] == [
+            "half-open",
+            "closed",
+        ]
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Runner chaos: worker crashes
+# ----------------------------------------------------------------------
+
+
+def test_worker_crash_chaos_salvages_byte_identically(
+    tmp_path, monkeypatch, baseline_bytes
+):
+    # The plan reaches pool children through the environment; each
+    # child's first study dies hard (os._exit), breaking the pool.
+    # The salvage path must recompute sequentially — in the parent the
+    # crash kind is inert — and leave fault-free bytes behind.
+    monkeypatch.setenv(FAULTS_ENV, "seed=21;worker.run=crash:1")
+    report = StudyRunner(
+        cache_dir=tmp_path / "chaos", store="json", jobs=2
+    ).run(MATRIX)
+    monkeypatch.delenv(FAULTS_ENV)
+    assert report.ok
+    salvaged = [
+        o for o in report.outcomes if "worker pool broke" in o.error
+    ]
+    assert salvaged  # at least one key went through the salvage path
+    assert all(o.attempts >= 1 for o in report.outcomes)
+    faults.set_plan(None)
+    sequential = tmp_path / "plain"
+    StudyRunner(cache_dir=sequential, store="json", jobs=1).run(MATRIX)
+    chaos_store = JsonDirectoryStore(tmp_path / "chaos")
+    plain_store = JsonDirectoryStore(sequential)
+    for key in MATRIX:
+        assert (
+            chaos_store.path_for(key).read_bytes()
+            == plain_store.path_for(key).read_bytes()
+        )
+    assert chaos_store.path_for(MATRIX[0]).read_bytes() == baseline_bytes
+
+
+# ----------------------------------------------------------------------
+# Selection chaos: answers stay index-identical
+# ----------------------------------------------------------------------
+
+
+def test_selections_stay_index_identical_under_store_corruption(tmp_path):
+    store = JsonDirectoryStore(tmp_path)
+    clean = SelectionEngine(scale="quick", seed=0, store=store)
+    expected = [
+        s.algorithm_index for s in clean.select_many("aatb", DIMS)
+    ]
+    # Every store load is corrupted: the engine sees only misses and
+    # must compute locally — and pick identically.
+    faults.set_plan(FaultPlan.parse("seed=31;store.load=corrupt:*"))
+    chaotic = SelectionEngine(scale="quick", seed=0, store=store)
+    got = [s.algorithm_index for s in chaotic.select_many("aatb", DIMS)]
+    faults.set_plan(None)
+    assert got == expected
+
+
+def test_service_answers_identically_under_request_delays(tmp_path):
+    engine = SelectionEngine(scale="quick", seed=0)
+    expected = [s.algorithm_index for s in engine.select_many("aatb", DIMS)]
+
+    async def run():
+        service = SelectionService(engine, port=0)
+        await service.start()
+        faults.set_plan(
+            FaultPlan.parse("seed=32;delay=0.02;service.request=delay:2")
+        )
+        results = await asyncio.gather(
+            *(
+                _http(
+                    service.port,
+                    "POST",
+                    "/select",
+                    {"expression": "aatb", "dims": dims},
+                )
+                for dims in DIMS
+            )
+        )
+        faults.set_plan(None)
+        await service.stop()
+        return results
+
+    results = asyncio.run(run())
+    assert [status for status, _payload in results] == [200] * len(DIMS)
+    assert [
+        payload["algorithm"]["index"] for _status, payload in results
+    ] == expected
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: zero dropped responses
+# ----------------------------------------------------------------------
+
+
+def test_drain_finishes_inflight_requests_with_zero_drops():
+    engine = SelectionEngine(scale="quick", seed=0)
+    engine.warm(["aatb"])
+
+    async def run():
+        service = SelectionService(engine, port=0)
+        await service.start()
+        port = service.port
+        # An in-flight request held open by an injected delay...
+        faults.set_plan(
+            FaultPlan.parse("seed=41;delay=0.3;service.request=delay:1")
+        )
+        inflight = asyncio.create_task(
+            _http(
+                port,
+                "POST",
+                "/select",
+                {"expression": "aatb", "dims": [100, 200, 300]},
+            )
+        )
+        await asyncio.sleep(0.1)
+        assert service.stats()["resilience"]["inflight"] == 1
+        # ...must still get its full answer through the drain.
+        final = await service.drain()
+        status, payload = await inflight
+        refused = False
+        try:
+            await asyncio.open_connection("127.0.0.1", port)
+        except OSError:
+            refused = True
+        faults.set_plan(None)
+        return status, payload, final, refused
+
+    status, payload, final, refused = asyncio.run(run())
+    assert status == 200
+    assert payload["algorithm"]["index"] >= 0  # a complete response
+    assert final["resilience"]["draining"] is True
+    assert final["resilience"]["inflight"] == 0
+    assert final["requests"]["select"] == 1
+    assert refused  # the listener closed before the wait, not after

@@ -7,15 +7,20 @@ or a no-op — never a pipeline error.
 """
 
 import asyncio
+import json
+import socket
+import struct
 import subprocess
 import sys
 import threading
+import time
 
 import pytest
 
 from repro.figures.cache import StudyKey, make_store
 from repro.runner.runner import run_study
 from repro.service.remote import (
+    MAX_FRAME_BYTES,
     RemoteStudyStore,
     StudyStoreServer,
     encode_frame,
@@ -142,6 +147,99 @@ def test_oversized_frames_are_refused_client_side():
     with pytest.raises(ValueError):
         encode_frame({"payload": "x" * (70 << 20)})
     store.close()
+
+
+def _raw_connection(server) -> socket.socket:
+    return socket.create_connection(("127.0.0.1", server.port), timeout=2)
+
+
+def _read_frame(sock: socket.socket) -> dict:
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        assert chunk, "server closed before a full header"
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    data = b""
+    while len(data) < length:
+        chunk = sock.recv(length - len(data))
+        assert chunk, "server closed mid-frame"
+        data += chunk
+    return json.loads(data)
+
+
+def _wait_for(predicate, timeout=2.0):
+    """Poll for a server-side counter the loop updates asynchronously."""
+    deadline = time.monotonic() + timeout
+    while not predicate() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert predicate()
+
+
+def test_server_survives_truncated_length_prefix(served_store):
+    server, _backing = served_store
+    with _raw_connection(server) as sock:
+        sock.sendall(b"\x00\x01")  # 2 of the 4 header bytes, then gone
+    _wait_for(lambda: server.malformed >= 1)
+    # The accept loop survived: a well-behaved client still gets through.
+    client = make_store("remote", f"127.0.0.1:{server.port}")
+    try:
+        assert client.ping()
+    finally:
+        client.close()
+
+
+def test_server_survives_mid_frame_disconnect(served_store):
+    server, _backing = served_store
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack(">I", 100) + b"only ten b")
+    _wait_for(lambda: server.malformed >= 1)
+    client = make_store("remote", f"127.0.0.1:{server.port}")
+    try:
+        assert client.ping()
+    finally:
+        client.close()
+
+
+def test_server_refuses_oversized_length_prefix_with_a_clear_error(
+    served_store,
+):
+    server, _backing = served_store
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        response = _read_frame(sock)
+        assert response["ok"] is False
+        assert "exceeds" in response["error"]
+        assert str(MAX_FRAME_BYTES) in response["error"]
+        # The stream offset is unrecoverable: the server drops us.
+        assert sock.recv(1) == b""
+    assert server.oversized == 1
+    client = make_store("remote", f"127.0.0.1:{server.port}")
+    try:
+        assert client.ping()
+    finally:
+        client.close()
+
+
+def test_server_answers_non_json_and_non_object_payloads(served_store):
+    server, _backing = served_store
+    with _raw_connection(server) as sock:
+        payload = b"this is not json"
+        sock.sendall(struct.pack(">I", len(payload)) + payload)
+        response = _read_frame(sock)
+        assert response["ok"] is False
+        # The connection survived the garbage: a JSON array is also
+        # rejected (requests must be objects), on the same socket...
+        payload = b"[1,2,3]"
+        sock.sendall(struct.pack(">I", len(payload)) + payload)
+        response = _read_frame(sock)
+        assert response["ok"] is False
+        assert "JSON object" in response["error"]
+        # ...and a valid ping still works on it afterwards.
+        sock.sendall(encode_frame({"op": "ping"}))
+        assert _read_frame(sock)["ok"] is True
+    assert server.errors >= 2
+    assert server.stats()["errors"] >= 2
 
 
 def test_remote_kind_registers_lazily():

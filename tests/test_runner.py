@@ -367,6 +367,91 @@ def test_runner_salvages_a_broken_process_pool(tmp_path, monkeypatch):
         assert store.load(key) is not None
 
 
+def test_salvage_retries_failed_keys_and_records_attempts(
+    tmp_path, monkeypatch
+):
+    # First in-process attempt of the salvage path fails (injected
+    # worker.run error); the retry policy gives the key a second
+    # attempt, which succeeds, and the outcome records both.
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.resilience import FaultPlan, faults
+    from repro.runner import runner as runner_module
+
+    class ExplodingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            raise BrokenProcessPool("fork failed")
+
+        def __exit__(self, *exc):
+            return False
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+    faults.set_plan(FaultPlan.parse("seed=1;worker.run=error:1"))
+    try:
+        report = StudyRunner(
+            cache_dir=tmp_path, store="json", jobs=2, retries=2
+        ).run(MATRIX[:2])
+    finally:
+        faults.set_plan(None)
+    assert report.ok
+    first, second = report.outcomes
+    assert first.status == "computed" and first.attempts == 2
+    assert "attempt 2/2" in first.error
+    assert second.status == "computed" and second.attempts == 1
+    assert "attempt 1/2" in second.error
+
+
+def test_salvage_exhausting_retries_reports_the_failure(
+    tmp_path, monkeypatch
+):
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.resilience import FaultPlan, faults
+    from repro.runner import runner as runner_module
+
+    class ExplodingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            raise BrokenProcessPool("fork failed")
+
+        def __exit__(self, *exc):
+            return False
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+    # Every worker.run attempt fails: both retries burn, the key fails.
+    faults.set_plan(FaultPlan.parse("seed=2;worker.run=error:*"))
+    try:
+        report = StudyRunner(
+            cache_dir=tmp_path, store="json", jobs=2, retries=2
+        ).run(MATRIX[:2])
+    finally:
+        faults.set_plan(None)
+    assert not report.ok
+    for outcome in report.outcomes:
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "injected fault: worker.run error" in outcome.error
+        assert "attempt 2/2" in outcome.error
+
+
+def test_runner_rejects_non_positive_retries(tmp_path):
+    with pytest.raises(ValueError):
+        StudyRunner(cache_dir=tmp_path, retries=0)
+
+
+@pytest.mark.parametrize("raw", ["0", "-1", "two"])
+def test_cli_rejects_non_positive_retries(tmp_path, capsys, raw):
+    with pytest.raises(SystemExit) as excinfo:
+        runner_main(["--retries", raw, "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    assert "--retries" in capsys.readouterr().err
+
+
 def test_runner_survives_pool_breaking_at_construction(tmp_path, monkeypatch):
     # BrokenProcessPool out of the pool itself (not a future) — e.g.
     # during submission — must also degrade to a sequential run.

@@ -415,6 +415,160 @@ def test_http_keep_alive_serves_multiple_requests(engine):
     assert asyncio.run(run()) == [200, 200]
 
 
+def test_http_stats_carries_a_resilience_section(engine):
+    async def run():
+        service = SelectionService(
+            engine, port=0, deadline=2.5, max_inflight=8
+        )
+        await service.start()
+        status, stats = await _request(service.port, "GET", "/stats")
+        await service.stop()
+        return status, stats
+
+    status, stats = asyncio.run(run())
+    assert status == 200
+    resilience = stats["resilience"]
+    assert resilience["deadline_seconds"] == 2.5
+    assert resilience["max_inflight"] == 8
+    assert resilience["draining"] is False
+    assert resilience["shed"] == 0
+    assert resilience["deadline_exceeded"] == 0
+    assert resilience["faults"] == {}  # no active fault plan
+
+
+def test_engine_stats_surface_store_resilience_counters():
+    class ResilientStore:
+        kind = "remote"
+
+        def load(self, key):
+            return None
+
+        def save(self, key, *results):
+            pass
+
+        def resilience_stats(self):
+            return {"retries": 3, "breaker": {"state": "closed"}}
+
+    engine = SelectionEngine(scale="quick", seed=0, store=ResilientStore())
+    store_stats = engine.stats()["store"]
+    assert store_stats["resilience"]["retries"] == 3
+    assert store_stats["resilience"]["breaker"]["state"] == "closed"
+
+
+def test_http_deadline_overrun_answers_503(engine):
+    async def run():
+        service = SelectionService(engine, port=0, deadline=0.05)
+        await service.start()
+
+        async def slow(*args, **kwargs):
+            await asyncio.sleep(1.0)
+
+        service.batcher.select = slow
+        status, payload = await _request(
+            service.port,
+            "POST",
+            "/select",
+            {"expression": "aatb", "dims": [100, 200, 300]},
+        )
+        stats = service.stats()
+        await service.stop()
+        return status, payload, stats
+
+    status, payload, stats = asyncio.run(run())
+    assert status == 503
+    assert "deadline exceeded" in payload["error"]
+    assert "50 ms" in payload["error"]
+    assert stats["requests"]["deadline_exceeded"] == 1
+    assert stats["resilience"]["deadline_exceeded"] == 1
+
+
+def test_http_deadline_spares_stats_and_healthz(engine):
+    # Observability routes are exempt from the overload policy: they
+    # must answer exactly when the service is struggling.
+    async def run():
+        service = SelectionService(
+            engine, port=0, deadline=0.05, max_inflight=1
+        )
+        await service.start()
+        health = await _request(service.port, "GET", "/healthz")
+        stats = await _request(service.port, "GET", "/stats")
+        await service.stop()
+        return health, stats
+
+    health, stats = asyncio.run(run())
+    assert health == (200, {"ok": True})
+    assert stats[0] == 200
+
+
+def test_http_max_inflight_sheds_excess_load(engine):
+    async def run():
+        service = SelectionService(engine, port=0, max_inflight=1)
+        await service.start()
+
+        async def slow(*args, **kwargs):
+            await asyncio.sleep(0.3)
+            return engine.select("aatb", [100, 200, 300])
+
+        service.batcher.select = slow
+        results = await asyncio.gather(
+            *(
+                _request(
+                    service.port,
+                    "POST",
+                    "/select",
+                    {"expression": "aatb", "dims": [100, 200, 300]},
+                )
+                for _ in range(3)
+            )
+        )
+        stats = service.stats()
+        await service.stop()
+        return results, stats
+
+    results, stats = asyncio.run(run())
+    statuses = sorted(status for status, _payload in results)
+    # One slow request holds the slot; the others shed with 503.
+    assert statuses == [200, 503, 503]
+    shed_payloads = [p for s, p in results if s == 503]
+    assert all("overloaded" in p["error"] for p in shed_payloads)
+    assert stats["requests"]["shed"] == 2
+    assert stats["resilience"]["shed"] == 2
+
+
+def test_http_drain_stops_accepting_and_reports_final_stats(engine):
+    async def run():
+        service = SelectionService(engine, port=0)
+        await service.start()
+        port = service.port
+        status, _payload = await _request(
+            port,
+            "POST",
+            "/select",
+            {"expression": "aatb", "dims": [100, 200, 300]},
+        )
+        final = await service.drain()
+        refused = False
+        try:
+            await asyncio.open_connection("127.0.0.1", port)
+        except OSError:
+            refused = True
+        return status, final, refused
+
+    status, final, refused = asyncio.run(run())
+    assert status == 200
+    assert final["resilience"]["draining"] is True
+    assert final["resilience"]["inflight"] == 0
+    assert final["requests"]["select"] == 1
+    assert refused
+
+
+def test_service_validates_overload_configuration(engine):
+    with pytest.raises(ValueError):
+        SelectionService(engine, deadline=0.0)
+    with pytest.raises(ValueError):
+        SelectionService(engine, max_inflight=0)
+
+
 def test_http_malformed_request_line_is_a_400(engine):
     async def run():
         service = SelectionService(engine, port=0)
