@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.backends.base import Backend
 from repro.expressions.base import Algorithm
+from repro.expressions.scheduler import scheduled_call_batches, scheduled_calls
 from repro.kernels.types import KernelCallBatch, KernelName
 from repro.machine.machine import MachineModel
 
@@ -137,7 +138,7 @@ class SimulatedBackend(Backend):
         cached = memo.get(key)
         if cached is None:
             instance = tuple(int(d) for d in instance)
-            calls = algorithm.kernel_calls(instance)
+            calls = self._scheduled(algorithm, algorithm.kernel_calls(instance))
             cached = self.machine.measure_algorithm(calls, context=algorithm.name)
             memo.put(key, cached)
         return cached
@@ -148,7 +149,7 @@ class SimulatedBackend(Backend):
         cached = memo.get(key)
         if cached is None:
             instance = tuple(int(d) for d in instance)
-            calls = algorithm.kernel_calls(instance)
+            calls = self._scheduled(algorithm, algorithm.kernel_calls(instance))
             cached = self.machine.predict_algorithm(calls, context=algorithm.name)
             memo.put(key, cached)
         return cached
@@ -181,13 +182,24 @@ class SimulatedBackend(Backend):
             )
         return arr
 
+    def _scheduled(self, algorithm: Algorithm, calls):
+        # Non-default machine schedules permute each plan's step order
+        # by the model's interference term (the schedule-as-scenario
+        # axis); the default schedule returns the calls untouched.
+        if self.machine.schedule == "default":
+            return calls
+        return scheduled_calls(algorithm, calls, self.machine)
+
     def _batched_calls(
         self, algorithm: Algorithm, arr: np.ndarray
     ) -> Tuple[KernelCallBatch, ...]:
         # Compiled per-plan builder when the algorithm carries one
         # (shape indices resolved at codegen time); interpreted
         # column batching otherwise.  Same batches either way.
-        return algorithm.kernel_call_batches(arr)
+        batches = algorithm.kernel_call_batches(arr)
+        if self.machine.schedule == "default":
+            return batches
+        return scheduled_call_batches(algorithm, batches, self.machine)
 
     def _memoised_batch(
         self,

@@ -1,0 +1,35 @@
+"""Hot-loop environment knobs, probed through CPython's raw environ.
+
+``REPRO_NO_SCHEDULER`` gates the plan scheduler the same way
+``REPRO_NO_CODEGEN`` gates generated evaluators (that probe lives in
+:mod:`repro.expressions.codegen`, predating this module).  Both knobs
+are read lazily on every use so flipping them at runtime takes effect
+without rebuilding registries — which puts the probe on the study hot
+loop.  ``os.environ.get`` costs ~0.8us through the Mapping machinery,
+so read CPython's raw environ dict when it is exposed (keys/values are
+fsencoded bytes on posix).  Mutations via ``os.environ[...]`` and
+``monkeypatch.setenv`` update the same dict.
+
+This module sits below every repro layer (it imports only ``os``), so
+:mod:`repro.machine.machine` and :mod:`repro.expressions.scheduler`
+can both consult the knob without a layering cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+_ENVIRON_DATA = getattr(os.environ, "_data", None)
+_NO_SCHEDULER_KEY = (
+    os.fsencode("REPRO_NO_SCHEDULER")
+    if isinstance(next(iter(_ENVIRON_DATA), b""), bytes)
+    else "REPRO_NO_SCHEDULER"
+) if _ENVIRON_DATA is not None else None
+
+
+def scheduler_enabled() -> bool:
+    """Whether the plan scheduler is in use (checked lazily per call)."""
+    if _ENVIRON_DATA is not None:
+        raw = _ENVIRON_DATA.get(_NO_SCHEDULER_KEY)
+        return raw is None or raw in (b"", b"0", "", "0")
+    return os.environ.get("REPRO_NO_SCHEDULER", "") in ("", "0")

@@ -18,7 +18,11 @@ functions as Python source and ``compile()``s each exactly once:
   calls of the same :mod:`repro.expressions.blas` wrappers in the same
   order as ``Plan.execute`` (bit-identical results), with temp-buffer
   slots preassigned by liveness so intermediate arrays are dropped as
-  early as the interpreter would drop them.
+  early as the interpreter would drop them.  When the plan scheduler
+  is enabled (the default; see :mod:`repro.expressions.scheduler`) the
+  emitted body additionally applies its buffer-reuse, ADD-fusion and
+  in-place-fill decisions — still bit-identical, cached separately per
+  scheduler mode.
 
 Compiled code is cached two ways: per structural *plan signature*
 (CSE-equal plans — identical leaves and steps — share all three
@@ -47,12 +51,21 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.envknobs import scheduler_enabled
 from repro.expressions import blas
 from repro.expressions.ir import AddExpr
+from repro.expressions.scheduler import (
+    PlanDecisions,
+    schedule_decisions,
+    scheduled_execute,
+)
 from repro.expressions.shapes import SizeExpr, dim_symbols
 from repro.kernels.types import KernelCallBatch, KernelName
 
-#: Plan-structure signature → compiled :class:`PlanCode`.
+#: (plan signature, scheduled?) → compiled :class:`PlanCode`.  The
+#: scheduled and plain executors differ (buffer reuse, fused ADDs,
+#: in-place fills), so each mode compiles its own entry; flipping
+#: ``REPRO_NO_SCHEDULER`` at runtime switches between them lazily.
 _PLAN_CACHE: Dict[tuple, "PlanCode"] = {}
 
 #: Canonical FLOP-polynomial key → (compiled evaluator, its source).
@@ -276,7 +289,9 @@ def _step_inputs(step) -> List[int]:
     return inputs
 
 
-def _emit_execute_source(plan) -> Tuple[str, dict]:
+def _emit_execute_source(
+    plan, decisions: Optional[PlanDecisions] = None
+) -> Tuple[str, dict]:
     """Straight-line executor with liveness-assigned temp slots.
 
     Replays exactly the wrapper calls ``Plan.execute`` issues, in the
@@ -284,6 +299,13 @@ def _emit_execute_source(plan) -> Tuple[str, dict]:
     value's last reader has run; an accumulation target stays blocked
     through its step because ``t_out = t_acc + t_out`` reads it
     *after* the main call's assignment.
+
+    With ``decisions`` (the scheduler's :class:`PlanDecisions`), the
+    emitted body additionally recycles dead buffers as ``out=``
+    targets, collapses ADD chains into in-place accumulations and
+    symmetrizes single-consumer SYRK triangles in place — every form
+    bit-equal to its allocating counterpart, so scheduled and plain
+    executors return identical arrays.
     """
     steps = plan.steps
     last_use = [0] * len(steps)
@@ -291,6 +313,13 @@ def _emit_execute_source(plan) -> Tuple[str, dict]:
         for source in _step_inputs(step):
             last_use[source] = max(last_use[source], i)
     last_use[len(steps) - 1] = len(steps)
+
+    # Values whose buffer the scheduler hands to a later step must keep
+    # their slot name bound until the claim site.
+    claimed = set()
+    if decisions is not None:
+        claimed.update(v for v in decisions.fuse_into if v is not None)
+        claimed.update(v for v in decisions.reuse_from if v is not None)
 
     def ref_src(ref) -> str:
         if ref.is_step:
@@ -306,7 +335,9 @@ def _emit_execute_source(plan) -> Tuple[str, dict]:
     n_slots = 0
     for i, step in enumerate(steps):
         dying = sorted(
-            slot_of[k] for k in range(i) if last_use[k] == i
+            slot_of[k]
+            for k in range(i)
+            if last_use[k] == i and k not in claimed
         )
         # An accumulation source is read after this step's assignment;
         # its slot only frees once the statement group has run.
@@ -317,20 +348,38 @@ def _emit_execute_source(plan) -> Tuple[str, dict]:
         )
         free.extend(s for s in dying if s not in blocked)
         free.sort()
-        if free:
+        fuse = decisions.fuse_into[i] if decisions is not None else None
+        reuse = decisions.reuse_from[i] if decisions is not None else None
+        if fuse is not None:
+            # In-place ADD-chain collapse: the dying operand's slot
+            # becomes the output, no allocation.
+            slot = slot_of[fuse]
+        elif reuse is not None:
+            # Claimed slots never entered ``free``: the dead buffer is
+            # still bound to its name, ready to be an ``out=`` target.
+            slot = slot_of[reuse]
+        elif free:
             slot = free.pop(0)
         else:
             slot = n_slots
             n_slots += 1
         slot_of[i] = slot
         out = f"t{slot}"
-        lines.append(
-            f"    {out} = {EXECUTOR_EMITTERS[step.kernel](plan, step, ref_src)}"
-        )
+        rhs = EXECUTOR_EMITTERS[step.kernel](plan, step, ref_src)
+        if (fuse is not None or reuse is not None) and rhs.endswith(")"):
+            rhs = f"{rhs[:-1]}, out={out})"
+        lines.append(f"    {out} = {rhs}")
         if step.copy_to_full:
-            lines.append(f"    {out} = _fill({out})")
+            if decisions is not None and decisions.inplace_fill[i]:
+                lines.append(f"    {out} = _symmetrize({out})")
+            else:
+                lines.append(f"    {out} = _fill({out})")
         if step.accumulate is not None:
-            lines.append(f"    {out} = t{slot_of[step.accumulate]} + {out}")
+            acc = f"t{slot_of[step.accumulate]}"
+            if decisions is not None:
+                lines.append(f"    {out} = _add({acc}, {out}, out={out})")
+            else:
+                lines.append(f"    {out} = {acc} + {out}")
         free.extend(s for s in dying if s in blocked and s != slot)
         free.sort()
     lines.append(f"    return t{slot_of[len(steps) - 1]}")
@@ -341,6 +390,7 @@ def _emit_execute_source(plan) -> Tuple[str, dict]:
         "_add": blas.add,
         "_trsm": blas.trsm,
         "_fill": blas.fill_symmetric_from_lower,
+        "_symmetrize": blas.symmetrize_lower_inplace,
     }
     return "\n".join(lines) + "\n", namespace
 
@@ -368,9 +418,17 @@ class PlanCode:
         self.source = source
 
 
-def compiled_plan(plan) -> PlanCode:
-    """The plan's :class:`PlanCode`, compiling at most once per structure."""
-    signature = plan_signature(plan)
+def compiled_plan(plan, scheduled: Optional[bool] = None) -> PlanCode:
+    """The plan's :class:`PlanCode`, compiling at most once per structure.
+
+    ``scheduled`` selects the executor flavour (the scheduler's
+    buffer-reuse/fusion decisions applied, or the plain unrolling) and
+    defaults to the live ``REPRO_NO_SCHEDULER`` state; the FLOP and
+    call builders are identical in both flavours.
+    """
+    if scheduled is None:
+        scheduled = scheduler_enabled()
+    signature = (plan_signature(plan), scheduled)
     code = _PLAN_CACHE.get(signature)
     if code is not None:
         _STATS["plan_cache_hits"] += 1
@@ -379,7 +437,8 @@ def compiled_plan(plan) -> PlanCode:
     flops_fn, flops_source = _flops_entry(plan)
     calls_source, calls_namespace = _emit_calls_source(plan)
     calls_fn = _compile_function(calls_source, "calls_batch", calls_namespace)
-    execute_source, execute_namespace = _emit_execute_source(plan)
+    decisions = schedule_decisions(plan) if scheduled else None
+    execute_source, execute_namespace = _emit_execute_source(plan, decisions)
     execute_fn = _compile_function(
         execute_source, "execute", execute_namespace
     )
@@ -407,18 +466,21 @@ class PlanCodegen:
     falls back to ``Plan.execute`` itself.
     """
 
-    __slots__ = ("plan", "_code")
+    __slots__ = ("plan", "_codes")
 
     def __init__(self, plan) -> None:
         self.plan = plan
-        self._code: Optional[PlanCode] = None
+        # One compiled entry per scheduler mode; flipping
+        # REPRO_NO_SCHEDULER switches executors without recompiling.
+        self._codes: Dict[bool, PlanCode] = {}
 
     def _resolve(self) -> Optional[PlanCode]:
         if not codegen_enabled():
             return None
-        code = self._code
+        mode = scheduler_enabled()
+        code = self._codes.get(mode)
         if code is None:
-            code = self._code = compiled_plan(self.plan)
+            code = self._codes[mode] = compiled_plan(self.plan, scheduled=mode)
         return code
 
     def flops_fn(self) -> Optional[Callable[[np.ndarray], np.ndarray]]:
@@ -441,6 +503,8 @@ class PlanCodegen:
         code = self._resolve()
         if code is not None:
             return code.execute(operands)
+        if scheduler_enabled():
+            return scheduled_execute(self.plan, operands)
         return self.plan.execute(operands)
 
     @property

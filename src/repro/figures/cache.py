@@ -1,7 +1,8 @@
 """Study stores: the shared on-disk layer of the study cache.
 
 A computed :class:`repro.figures.common.Study` is fully determined by
-its :class:`StudyKey` ``(scale, seed, expression, box)`` — the backend
+its :class:`StudyKey` ``(scale, seed, expression, box, schedule)`` —
+the backend
 is deterministic and the experiment drivers are seeded — so its
 results can be persisted and reloaded across processes.  With
 ``REPRO_CACHE_DIR`` set, regenerating an artefact a second time
@@ -90,16 +91,27 @@ STORE_KINDS = ("json", "sqlite", "remote")
 
 @dataclass(frozen=True, order=True)
 class StudyKey:
-    """Everything that determines one study's results."""
+    """Everything that determines one study's results.
+
+    ``schedule`` (the machine's step-schedule policy, see
+    :data:`repro.machine.machine.SCHEDULES`) participates only when it
+    is not the default: default-schedule slugs and payloads are exactly
+    the pre-scheduler ones, so every existing store entry stays valid
+    and the sha256-pinned payload tests hold with the scheduler on.
+    """
 
     scale: str
     seed: int
     expression: str
     box: str = "paper_box"
+    schedule: str = "default"
 
     @property
     def slug(self) -> str:
-        return f"{self.scale}-seed{self.seed}-{self.expression}-{self.box}"
+        slug = f"{self.scale}-seed{self.seed}-{self.expression}-{self.box}"
+        if self.schedule != "default":
+            slug += f"-{self.schedule}"
+        return slug
 
 
 def cache_dir_from_env() -> Optional[Path]:
@@ -305,11 +317,19 @@ def encode_study(
         "seed": key.seed,
         "expression": key.expression,
         "box": key.box,
-        "search": _search_to_payload(search),
-        "regions": _regions_to_payload(regions),
-        "prediction": _prediction_to_payload(prediction),
-        "confusion": _confusion_to_payload(confusion),
     }
+    if key.schedule != "default":
+        # Conditional so default-schedule payloads stay byte-identical
+        # to every pre-scheduler store entry (and the pinned shas).
+        payload["schedule"] = key.schedule
+    payload.update(
+        {
+            "search": _search_to_payload(search),
+            "regions": _regions_to_payload(regions),
+            "prediction": _prediction_to_payload(prediction),
+            "confusion": _confusion_to_payload(confusion),
+        }
+    )
     return json.dumps(payload, separators=(",", ":"))
 
 
@@ -323,6 +343,7 @@ def decode_study(text: str, key: StudyKey) -> Optional[dict]:
             or payload.get("seed") != key.seed
             or payload.get("expression") != key.expression
             or payload.get("box") != key.box
+            or payload.get("schedule", "default") != key.schedule
         ):
             return None
         return {

@@ -39,6 +39,7 @@ from repro.experiments.random_search import SearchResult, random_search
 from repro.experiments.regions import Regions, explore_regions
 from repro.expressions.base import Expression
 from repro.expressions.registry import get_expression
+from repro.machine.machine import SCHEDULES
 from repro.machine.presets import paper_machine
 
 #: Experiment-1 classification threshold (paper §4.1).
@@ -56,6 +57,11 @@ class FigureConfig:
     scale: str = "quick"
     seed: int = 0
     box: str = "paper_box"
+    #: Step-schedule policy of the study's machine (see
+    #: :data:`repro.machine.machine.SCHEDULES`).  Non-default schedules
+    #: reorder plan steps by the interference term — a separate study
+    #: scenario with its own cache entries.
+    schedule: str = "default"
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
@@ -66,6 +72,11 @@ class FigureConfig:
             raise ValueError(
                 f"box must be one of {tuple(sorted(NAMED_BOXES))}, "
                 f"got {self.box!r}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, "
+                f"got {self.schedule!r}"
             )
 
     @property
@@ -78,6 +89,7 @@ class FigureConfig:
             seed=self.seed,
             expression=expression_name,
             box=self.box,
+            schedule=self.schedule,
         )
 
     def search_params(self, expression_name: str) -> Dict[str, int]:
@@ -118,7 +130,7 @@ class Study:
     confusion: ConfusionMatrix
 
 
-_STUDY_CACHE: Dict[Tuple[str, int, str, str], Study] = {}
+_STUDY_CACHE: Dict[Tuple[str, int, str, str, str], Study] = {}
 
 
 def compute_study_results(
@@ -137,7 +149,9 @@ def compute_study_results(
     """
     expression = get_expression(expression_name)
     if backend is None:
-        backend = SimulatedBackend(paper_machine(seed=config.seed))
+        backend = SimulatedBackend(
+            paper_machine(seed=config.seed, schedule=config.schedule)
+        )
     box = named_box(config.box, expression.n_dims)
     search = random_search(
         backend,
@@ -167,12 +181,20 @@ def compute_study_results(
 
 def study_for(config: FigureConfig, expression_name: str) -> Study:
     """The cached study for one expression at one scale/seed/box."""
-    key = (config.scale, config.seed, expression_name, config.box)
+    key = (
+        config.scale,
+        config.seed,
+        expression_name,
+        config.box,
+        config.schedule,
+    )
     if key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
 
     expression = get_expression(expression_name)
-    backend = SimulatedBackend(paper_machine(seed=config.seed))
+    backend = SimulatedBackend(
+        paper_machine(seed=config.seed, schedule=config.schedule)
+    )
     store = store_from_env()
     store_key = config.study_key(expression_name)
 

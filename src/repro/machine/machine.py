@@ -44,6 +44,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.envknobs import scheduler_enabled
 from repro.kernels.flops import kernel_flops_batch
 from repro.kernels.types import (
     KERNEL_ARITY,
@@ -54,6 +55,17 @@ from repro.kernels.types import (
 )
 from repro.machine.noise import NoiseModel, fold
 from repro.machine.spec import MachineSpec
+
+#: Known step-schedule policies (the machine presets' ``schedule``
+#: knob, threaded through study keys and the runner's ``--schedule``).
+#: ``default`` keeps each plan's compiled step order; the other two
+#: let :func:`repro.expressions.scheduler.schedule_order` pick the
+#: dependency-respecting permutation this model's cache-interference
+#: term scores fastest/slowest.  Reordering changes which step pairs
+#: are producer/consumer adjacent — and therefore the measured times —
+#: so non-default schedules are a distinct study scenario, never a
+#: cache-compatible variation of the default one.
+SCHEDULES = ("default", "min-interference", "max-interference")
 
 #: Relative cost of the conflict misses a *producer* kernel's cache
 #: residue inflicts on its consumer.  SYRK leaves a packed triangle
@@ -114,14 +126,24 @@ class MachineModel:
         reps: int = 5,
         variant_dispatch: bool = True,
         cache_effects: bool = True,
+        schedule: str = "default",
     ) -> None:
         if reps < 1:
             raise ValueError("reps must be >= 1")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+            )
         self.spec = spec
         self.noise = noise if noise is not None else NoiseModel()
         self.reps = reps
         self.variant_dispatch = variant_dispatch
         self.cache_effects = cache_effects
+        self.schedule = schedule
+        #: Per-plan step orders chosen by the scheduler for this
+        #: machine's ``schedule`` (owned by
+        #: :func:`repro.expressions.scheduler.schedule_order`).
+        self.schedule_cache: dict = {}
         self._stream_base_cache: dict = {}
         # Noise-free base seconds keyed by (kernel, dims-matrix bytes);
         # shared across algorithm contexts (see _BASE_CACHE_MAX_BYTES).
@@ -306,6 +328,10 @@ class MachineModel:
         if not calls:
             raise ValueError("algorithm batch needs at least one call")
         context_base = self._stream_base(context)
+        if len(calls) > 1 and scheduler_enabled():
+            return self._algorithm_batch_fused(
+                calls, context_base, with_interference
+            )
         total = np.zeros(calls[0].n)
         previous: Optional[KernelCallBatch] = None
         for index, call in enumerate(calls):
@@ -323,6 +349,57 @@ class MachineModel:
             )
             total = total + self._measure_batch(base, ids)
             previous = call
+        return total
+
+    def _algorithm_batch_fused(
+        self,
+        calls: Sequence[KernelCallBatch],
+        context_base: int,
+        with_interference: bool,
+    ) -> np.ndarray:
+        """One noise/median pass over a whole multi-kernel region.
+
+        Bit-equal to the per-call loop by construction: measurement ids
+        and base seconds are built per call exactly as before, then the
+        noise factors and the median-of-reps run once over the stacked
+        ``(k*n, reps)`` block — :meth:`NoiseModel.factors_from_ids` is
+        elementwise per id and ``np.median`` sorts each row
+        independently, so row ``index*n + j`` matches what call
+        ``index`` alone would have produced for instance ``j``.  The
+        final summation replays the sequential per-call order (never a
+        pairwise ``np.sum`` reduction, which would reorder the float
+        additions for k >= 8).  This amortizes the per-call NumPy
+        dispatch of the study hot loop's innermost layer — the win the
+        scheduler's fused regions hand to every backend at once.
+        """
+        n = calls[0].n
+        bases: list = []
+        ids: list = []
+        previous: Optional[KernelCallBatch] = None
+        for index, call in enumerate(calls):
+            base = self._base_seconds_memo(call.kernel, call.dims)
+            if (
+                with_interference
+                and previous is not None
+                and call.reads_previous
+            ):
+                base = base * (
+                    1.0 + self.interference_penalty_batch(previous, call)
+                )
+            bases.append(np.broadcast_to(base, (n,)))
+            ids.append(
+                self._measurement_ids(
+                    context_base, index, call.kernel, call.dims
+                )
+            )
+            previous = call
+        factors = self.noise.factors_from_ids(np.concatenate(ids), self.reps)
+        measured = np.median(
+            np.concatenate(bases)[:, None] * factors, axis=1
+        )
+        total = np.zeros(n)
+        for index in range(len(calls)):
+            total = total + measured[index * n:(index + 1) * n]
         return total
 
     def measure_algorithm_batch(

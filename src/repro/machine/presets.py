@@ -8,6 +8,13 @@
 ``no_variants_machine``  ablation: internal variant dispatch off —
                          kernel efficiency scans lose their abrupt
                          jumps and keep only the gradual ramps.
+
+Every preset takes a ``schedule`` knob (one of
+:data:`repro.machine.machine.SCHEDULES`, default ``"default"``): a
+non-default schedule lets the plan scheduler reorder each algorithm's
+steps by the model's cache-interference term, which is a distinct
+study scenario — see ``FigureConfig.schedule`` and the runner's
+``--schedule``.
 """
 
 from __future__ import annotations
@@ -23,30 +30,35 @@ _SPIKE = 0.02
 _REPS = 5
 
 
-def paper_machine(seed: int = 0) -> MachineModel:
+def paper_machine(seed: int = 0, schedule: str = "default") -> MachineModel:
     """The machine every figure and table is regenerated on."""
     return MachineModel(
         xeon_silver_4210_like(),
         noise=NoiseModel(sigma=_SIGMA, spike_probability=_SPIKE, seed=seed),
         reps=_REPS,
+        schedule=schedule,
     )
 
 
-def no_cache_machine(seed: int = 0) -> MachineModel:
+def no_cache_machine(seed: int = 0, schedule: str = "default") -> MachineModel:
     """Paper machine with inter-kernel cache effects disabled."""
     return MachineModel(
         xeon_silver_4210_like(),
         noise=NoiseModel(sigma=_SIGMA, spike_probability=_SPIKE, seed=seed),
         reps=_REPS,
         cache_effects=False,
+        schedule=schedule,
     )
 
 
-def no_variants_machine(seed: int = 0) -> MachineModel:
+def no_variants_machine(
+    seed: int = 0, schedule: str = "default"
+) -> MachineModel:
     """Paper machine with internal kernel-variant dispatch disabled."""
     return MachineModel(
         xeon_silver_4210_like(),
         noise=NoiseModel(sigma=_SIGMA, spike_probability=_SPIKE, seed=seed),
         reps=_REPS,
         variant_dispatch=False,
+        schedule=schedule,
     )

@@ -16,7 +16,13 @@ matrix ride along via ``--extra scale:seed:expression[:box]``.
 anomaly-abundance-vs-search-volume figure from the freshly warmed
 store.
 
-Expression names, boxes and scales are validated up front against
+``--schedule`` selects the machine's step-schedule policy for the
+whole matrix (``default``/``min-interference``/``max-interference``,
+case-insensitive) — non-default schedules are distinct study scenarios
+with their own store entries.
+
+Expression names, boxes, scales and schedules are validated up front
+against
 :func:`repro.expressions.registry.is_known_expression` and the named
 tables — a typo is a usage error here, not a KeyError traceback from a
 worker process.
@@ -34,6 +40,7 @@ from repro.expressions.registry import (
     expression_name_help,
     is_known_expression,
 )
+from repro.machine.machine import SCHEDULES
 from repro.figures.cache import (
     CACHE_DIR_ENV,
     STORE_KINDS,
@@ -63,6 +70,18 @@ def _validated_store(kind: str) -> str:
     if normalized not in STORE_KINDS:
         raise argparse.ArgumentTypeError(
             f"unknown store {kind!r}; known: {'/'.join(STORE_KINDS)}"
+        )
+    return normalized
+
+
+def _validated_schedule(name: str) -> str:
+    """Schedule names get the same up-front treatment as stores and
+    expressions: a typo is a usage error listing the known schedules,
+    not a ValueError traceback from MachineModel inside a worker."""
+    normalized = name.strip().lower()
+    if normalized not in SCHEDULES:
+        raise argparse.ArgumentTypeError(
+            f"unknown schedule {name!r}; known: {'/'.join(SCHEDULES)}"
         )
     return normalized
 
@@ -174,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper_box",
         choices=tuple(sorted(NAMED_BOXES)),
         help="named exploration box (default: paper_box)",
+    )
+    parser.add_argument(
+        "--schedule",
+        type=_validated_schedule,
+        default=SCHEDULES[0],
+        metavar="{" + ",".join(SCHEDULES) + "}",
+        help="machine step-schedule policy for every matrix study "
+        "(default: default; case-insensitive)",
     )
     parser.add_argument(
         "--abundance",
@@ -321,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seeds=args.seeds,
         expressions=expressions,
         box=args.box,
+        schedule=args.schedule,
         extras=extras,
     )
     if args.list:

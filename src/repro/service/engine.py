@@ -35,6 +35,7 @@ from repro.core.searchspace import NAMED_BOXES
 from repro.experiments.regions import Regions
 from repro.expressions.base import Algorithm, Expression
 from repro.expressions.codegen import codegen_stats
+from repro.expressions.scheduler import scheduler_stats
 from repro.expressions.registry import (
     expression_name_help,
     get_expression,
@@ -408,5 +409,6 @@ class SelectionEngine:
                 "expressions_loaded": sorted(self._expressions),
             },
             "codegen": codegen_stats(),
+            "scheduler": scheduler_stats(),
             **self.studies.stats(),
         }

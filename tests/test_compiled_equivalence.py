@@ -107,18 +107,28 @@ def test_aatb_flop_polynomials_match_hand_derivation():
         assert poly.render(("d0", "d1", "d2")) == AATB_POLYS[algorithm.name]
 
 
+@pytest.mark.parametrize("scheduler", ["scheduled", "unscheduled"])
 @pytest.mark.parametrize("mode", ["codegen", "interpreter"])
 @pytest.mark.parametrize("expression_name", sorted(PAYLOAD_SHA256))
 def test_quick_study_payloads_byte_identical_to_pre_refactor(
-    expression_name, mode, monkeypatch
+    expression_name, mode, scheduler, monkeypatch
 ):
-    # The generated batch evaluators (repro.expressions.codegen) and
-    # the interpreted fallback must hit the *same* pre-refactor digest:
-    # codegen is a pure perf optimisation, never a semantic change.
+    # The generated batch evaluators (repro.expressions.codegen), the
+    # plan scheduler (repro.expressions.scheduler), and their
+    # interpreted/unscheduled fallbacks must all hit the *same*
+    # pre-refactor digest: both layers are pure perf optimisations,
+    # never a semantic change.  Under the default machine schedule the
+    # scheduler only fuses/reuses buffers and collapses measurement
+    # passes — all bit-preserving — so the payload stays byte-identical
+    # with it on or off.
     if mode == "interpreter":
         monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
     else:
         monkeypatch.delenv("REPRO_NO_CODEGEN", raising=False)
+    if scheduler == "unscheduled":
+        monkeypatch.setenv("REPRO_NO_SCHEDULER", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_SCHEDULER", raising=False)
     key = StudyKey("quick", 0, expression_name)
     config = FigureConfig(scale="quick", seed=0)
     text = encode_study(key, *compute_study_results(config, expression_name))
