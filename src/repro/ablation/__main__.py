@@ -1,0 +1,8 @@
+"""``python -m repro.ablation`` — see :mod:`repro.ablation.cli`."""
+
+import sys
+
+from repro.ablation.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -988,6 +988,10 @@ class CompiledExpression(Expression):
         self.operands: Tuple[OperandSpec, ...] = operand_table(expr)
         self.operand_labels = "".join(spec.label for spec in self.operands)
         namer = namer or default_plan_namer
+        # Kept so the expression can be recompiled under a different
+        # pruning config (the ablation harness's budget sweeps).
+        self._trees_arg = trees
+        self._namer_arg = namer
         self._plans = tuple(compile_plans(name, expr, trees, prune))
         self._algorithms = tuple(
             self._algorithm_for(namer(plan, ordinal), plan)
@@ -1007,6 +1011,27 @@ class CompiledExpression(Expression):
             calls_builder=plan.kernel_calls,
             executor=provider.execute,
             codegen=provider,
+        )
+
+    def with_prune(
+        self, prune: Optional[PruneConfig]
+    ) -> "CompiledExpression":
+        """This expression recompiled under a different pruning config.
+
+        The rebuilt expression shares the IR, tree order and plan
+        namer, so with ``prune=None`` (or a budget at least the tree
+        count) the plans are exactly the originals; a tighter budget
+        keeps the cost-ranked prefix.  The result is *not* registered:
+        it exists for side-by-side comparisons (the ablation harness's
+        ``prune-budget-<n>`` components), never as the registry's view
+        of the family.
+        """
+        return CompiledExpression(
+            self.name,
+            self.ir,
+            trees=self._trees_arg,
+            namer=self._namer_arg,
+            prune=prune,
         )
 
     def plans(self) -> Tuple[Plan, ...]:

@@ -94,10 +94,13 @@ class StudyKey:
     """Everything that determines one study's results.
 
     ``schedule`` (the machine's step-schedule policy, see
-    :data:`repro.machine.machine.SCHEDULES`) participates only when it
-    is not the default: default-schedule slugs and payloads are exactly
-    the pre-scheduler ones, so every existing store entry stays valid
-    and the sha256-pinned payload tests hold with the scheduler on.
+    :data:`repro.machine.machine.SCHEDULES`) and ``variant`` (a named
+    ablation modification of the pipeline, see
+    :data:`repro.ablation.components.STUDY_VARIANTS`) participate only
+    when they are not the default: default slugs and payloads are
+    exactly the pre-scheduler/pre-ablation ones, so every existing
+    store entry stays valid and the sha256-pinned payload tests hold
+    with both axes present.
     """
 
     scale: str
@@ -105,12 +108,15 @@ class StudyKey:
     expression: str
     box: str = "paper_box"
     schedule: str = "default"
+    variant: str = "default"
 
     @property
     def slug(self) -> str:
         slug = f"{self.scale}-seed{self.seed}-{self.expression}-{self.box}"
         if self.schedule != "default":
             slug += f"-{self.schedule}"
+        if self.variant != "default":
+            slug += f"-ablate-{self.variant}"
         return slug
 
 
@@ -322,6 +328,9 @@ def encode_study(
         # Conditional so default-schedule payloads stay byte-identical
         # to every pre-scheduler store entry (and the pinned shas).
         payload["schedule"] = key.schedule
+    if key.variant != "default":
+        # Same byte-compatibility contract for the ablation axis.
+        payload["variant"] = key.variant
     payload.update(
         {
             "search": _search_to_payload(search),
@@ -344,6 +353,7 @@ def decode_study(text: str, key: StudyKey) -> Optional[dict]:
             or payload.get("expression") != key.expression
             or payload.get("box") != key.box
             or payload.get("schedule", "default") != key.schedule
+            or payload.get("variant", "default") != key.variant
         ):
             return None
         return {

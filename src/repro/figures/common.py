@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.ablation.components import get_variant, is_known_variant
 from repro.analysis.confusion import ConfusionMatrix, confusion_from_prediction
 from repro.figures.cache import StudyKey, store_from_env
 from repro.backends.simulated import SimulatedBackend
@@ -38,9 +39,7 @@ from repro.experiments.prediction import Prediction, predict_from_benchmarks
 from repro.experiments.random_search import SearchResult, random_search
 from repro.experiments.regions import Regions, explore_regions
 from repro.expressions.base import Expression
-from repro.expressions.registry import get_expression
 from repro.machine.machine import SCHEDULES
-from repro.machine.presets import paper_machine
 
 #: Experiment-1 classification threshold (paper §4.1).
 SEARCH_THRESHOLD = 0.10
@@ -62,6 +61,14 @@ class FigureConfig:
     #: reorder plan steps by the interference term — a separate study
     #: scenario with its own cache entries.
     schedule: str = "default"
+    #: Named ablation variant of the pipeline (see
+    #: :data:`repro.ablation.components.STUDY_VARIANTS`): a different
+    #: machine construction, env knobs applied around the pipeline, or
+    #: recompilation under a tighter pruning budget.  Non-default
+    #: variants are separate study scenarios with their own cache
+    #: entries; the default is byte-identical to the pre-ablation
+    #: pipeline.
+    variant: str = "default"
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
@@ -78,6 +85,9 @@ class FigureConfig:
                 f"schedule must be one of {SCHEDULES}, "
                 f"got {self.schedule!r}"
             )
+        if not is_known_variant(self.variant):
+            # get_variant's error text lists the known names.
+            get_variant(self.variant)
 
     @property
     def is_full(self) -> bool:
@@ -90,6 +100,14 @@ class FigureConfig:
             expression=expression_name,
             box=self.box,
             schedule=self.schedule,
+            variant=self.variant,
+        )
+
+    def build_backend(self) -> SimulatedBackend:
+        """The study's backend: the variant's machine at this config."""
+        variant = get_variant(self.variant)
+        return SimulatedBackend(
+            variant.build_machine(self.seed, self.schedule)
         )
 
     def search_params(self, expression_name: str) -> Dict[str, int]:
@@ -130,7 +148,7 @@ class Study:
     confusion: ConfusionMatrix
 
 
-_STUDY_CACHE: Dict[Tuple[str, int, str, str, str], Study] = {}
+_STUDY_CACHE: Dict[Tuple[str, int, str, str, str, str], Study] = {}
 
 
 def compute_study_results(
@@ -146,35 +164,40 @@ def compute_study_results(
     keeps using the backend afterwards (``study_for`` attaches it to
     the Study for the trace figures) passes its own, so the pipeline's
     measurement memo stays warm.
+
+    A non-default ``config.variant`` swaps the machine construction,
+    recompiles the expression under a pruning budget, and/or applies
+    env knobs around the pipeline — all three through the variant
+    registry, so the result is still a pure function of the study key.
     """
-    expression = get_expression(expression_name)
+    variant = get_variant(config.variant)
+    expression = variant.expression_for(expression_name)
     if backend is None:
-        backend = SimulatedBackend(
-            paper_machine(seed=config.seed, schedule=config.schedule)
-        )
+        backend = config.build_backend()
     box = named_box(config.box, expression.n_dims)
-    search = random_search(
-        backend,
-        expression,
-        box,
-        threshold=SEARCH_THRESHOLD,
-        seed=config.seed,
-        **config.search_params(expression_name),
-    )
-    region_params = config.region_params(expression_name)
-    origins = [
-        anomaly.instance
-        for anomaly in search.anomalies[: region_params["max_origins"]]
-    ]
-    regions = explore_regions(
-        backend,
-        expression,
-        origins,
-        box,
-        threshold=REGION_THRESHOLD,
-        step=region_params["step"],
-    )
-    prediction = predict_from_benchmarks(backend, expression, regions)
+    with variant.applied_env():
+        search = random_search(
+            backend,
+            expression,
+            box,
+            threshold=SEARCH_THRESHOLD,
+            seed=config.seed,
+            **config.search_params(expression_name),
+        )
+        region_params = config.region_params(expression_name)
+        origins = [
+            anomaly.instance
+            for anomaly in search.anomalies[: region_params["max_origins"]]
+        ]
+        regions = explore_regions(
+            backend,
+            expression,
+            origins,
+            box,
+            threshold=REGION_THRESHOLD,
+            step=region_params["step"],
+        )
+        prediction = predict_from_benchmarks(backend, expression, regions)
     confusion = confusion_from_prediction(prediction)
     return search, regions, prediction, confusion
 
@@ -187,14 +210,13 @@ def study_for(config: FigureConfig, expression_name: str) -> Study:
         expression_name,
         config.box,
         config.schedule,
+        config.variant,
     )
     if key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
 
-    expression = get_expression(expression_name)
-    backend = SimulatedBackend(
-        paper_machine(seed=config.seed, schedule=config.schedule)
-    )
+    expression = get_variant(config.variant).expression_for(expression_name)
+    backend = config.build_backend()
     store = store_from_env()
     store_key = config.study_key(expression_name)
 

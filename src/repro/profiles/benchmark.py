@@ -134,6 +134,13 @@ def build_profile(
     return Profile(kernel=kernel, axes=axes_t, times=times)
 
 
+#: Per-dimension grid of the standard profile-benchmarking pass —
+#: shared by the selection service, the discriminant ablation bench
+#: and the ablation harness so their profile-based discriminants are
+#: comparable.
+PROFILE_AXIS = (24, 64, 160, 400, 800, 1400)
+
+
 def build_all_profiles(
     backend: Backend,
     axes_by_kernel: Dict[KernelName, Sequence[Sequence[int]]],
@@ -143,3 +150,14 @@ def build_all_profiles(
         kernel: build_profile(backend, kernel, axes)
         for kernel, axes in axes_by_kernel.items()
     }
+
+
+def standard_profiles(backend: Backend) -> Dict[KernelName, Profile]:
+    """Every kernel profiled over the :data:`PROFILE_AXIS` grid."""
+    return build_all_profiles(
+        backend,
+        {
+            kernel: (PROFILE_AXIS,) * KERNEL_ARITY[kernel]
+            for kernel in KernelName
+        },
+    )

@@ -21,6 +21,14 @@ whole matrix (``default``/``min-interference``/``max-interference``,
 case-insensitive) — non-default schedules are distinct study scenarios
 with their own store entries.
 
+``--ablation`` runs the baseline-plus-one-off ablation matrix instead
+of the plain matrix (see :mod:`repro.ablation`): every registered
+component — or the ``--ablation-components`` subset — is flipped off
+one at a time, and the ranked science-delta report is printed (and
+written to ``--report-dir`` when given).  Ablation takes exactly one
+scale and one seed, and owns the schedule axis itself, so
+``--schedule``/``--abundance``/``--extra`` are usage errors with it.
+
 Expression names, boxes, scales and schedules are validated up front
 against
 :func:`repro.expressions.registry.is_known_expression` and the named
@@ -35,6 +43,7 @@ import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from repro.ablation.cli import parse_components as _parse_components
 from repro.core.searchspace import NAMED_BOXES
 from repro.expressions.registry import (
     expression_name_help,
@@ -209,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
         "anomaly-abundance-vs-search-volume figure",
     )
     parser.add_argument(
+        "--ablation",
+        action="store_true",
+        help="run the baseline-plus-one-off ablation matrix and print "
+        "the ranked science-delta report (see python -m repro.ablation)",
+    )
+    parser.add_argument(
+        "--ablation-components",
+        type=_parse_components,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="with --ablation: ablate only these components "
+        "(default: the whole registry)",
+    )
+    parser.add_argument(
+        "--report-dir",
+        default=None,
+        metavar="DIR",
+        help="with --ablation: also write the JSON + markdown report "
+        "artefacts into DIR",
+    )
+    parser.add_argument(
         "--jobs",
         type=_positive_jobs,
         default=1,
@@ -301,6 +331,51 @@ def _render_abundance(
     return "\n\n".join(blocks), complete
 
 
+def _run_ablation(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    scales: Tuple[str, ...],
+    expressions: Optional[List[str]],
+    cache_dir: str,
+) -> int:
+    """Dispatch ``--ablation`` to the shared ablation CLI body.
+
+    The ablation matrix is one (scale, seed, box) with the component
+    axis swept, and components own the schedule/variant knobs — the
+    plain matrix's multi-valued and schedule flags are usage errors.
+    """
+    from repro.ablation.cli import execute
+    from repro.ablation.harness import DEFAULT_EXPRESSIONS
+
+    if args.abundance or args.extra:
+        parser.error("--ablation cannot be combined with --abundance/--extra")
+    if args.schedule != SCHEDULES[0]:
+        parser.error(
+            "--ablation owns the schedule axis (via the schedule-* "
+            "components); drop --schedule"
+        )
+    if len(scales) != 1:
+        parser.error("--ablation takes exactly one --scale")
+    if len(args.seeds) != 1:
+        parser.error("--ablation takes exactly one seed in --seeds")
+    return execute(
+        scale=scales[0],
+        seed=args.seeds[0],
+        box=args.box,
+        expressions=(
+            tuple(expressions)
+            if expressions is not None
+            else DEFAULT_EXPRESSIONS
+        ),
+        components=args.ablation_components,
+        cache_dir=cache_dir,
+        store=args.store,
+        jobs=args.jobs,
+        retries=args.retries,
+        report_dir=args.report_dir,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -323,6 +398,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             except argparse.ArgumentTypeError as exc:
                 parser.error(f"--expressions: {exc}")
     scales = tuple(args.scale) if args.scale else ("quick",)
+    if args.ablation:
+        return _run_ablation(parser, args, scales, expressions, cache_dir)
+    if args.ablation_components is not None or args.report_dir is not None:
+        parser.error(
+            "--ablation-components/--report-dir require --ablation"
+        )
     extras = tuple(args.extra)
     abundance_names: Tuple[str, ...] = ()
     if args.abundance:

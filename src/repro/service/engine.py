@@ -41,18 +41,16 @@ from repro.expressions.registry import (
     get_expression,
     is_known_expression,
 )
+from repro.ablation.components import ablation_stats
 from repro.figures.cache import StudyKey, StudyStore
 from repro.figures.common import FigureConfig, compute_study_results
-from repro.kernels.types import KERNEL_ARITY, KernelName
 from repro.machine.presets import paper_machine
-from repro.profiles.benchmark import build_all_profiles
+from repro.profiles.benchmark import PROFILE_AXIS, standard_profiles
 from repro.service.lru import LruCache
 
 log = logging.getLogger("repro.service")
 
-#: Per-dimension grid of the startup profile-benchmarking pass, shared
-#: by every kernel (same grid the discriminant ablation bench uses).
-PROFILE_AXIS = (24, 64, 160, 400, 800, 1400)
+__all__ = ["PROFILE_AXIS", "SelectionEngine", "SelectionError"]
 
 #: Default capacity of the hot-study LRU.
 DEFAULT_LRU_CAPACITY = 8
@@ -247,13 +245,10 @@ class SelectionEngine:
         self.seed = seed
         self.box = box
         self.backend = SimulatedBackend(paper_machine(seed=seed))
-        profiles = build_all_profiles(
-            self.backend,
-            {
-                kernel: (PROFILE_AXIS,) * KERNEL_ARITY[kernel]
-                for kernel in KernelName
-            },
-        )
+        # The shared PROFILE_AXIS grid (repro.profiles.benchmark) —
+        # the same profiles the ablation harness's detector ensemble
+        # benchmarks, so service picks and harness picks agree.
+        profiles = standard_profiles(self.backend)
         self.discriminants: Dict[str, Discriminant] = {
             "min-flops": MinFlopsDiscriminant(),
             "profiled-time": ProfiledTimeDiscriminant(profiles),
@@ -410,5 +405,6 @@ class SelectionEngine:
             },
             "codegen": codegen_stats(),
             "scheduler": scheduler_stats(),
+            "ablation": ablation_stats(),
             **self.studies.stats(),
         }

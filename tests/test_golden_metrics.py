@@ -1,0 +1,114 @@
+"""Golden science metrics: quick-scale studies pinned to exact numbers.
+
+The whole stack below a study — kernel FLOP/efficiency models, noise
+streams, cache interference, plan compilation, pruning, scheduling,
+codegen — is deterministic for a given study key, so the headline
+statistics of the golden expression trio (``chain4``, ``aatb``,
+``gram3`` at quick scale, seed 0, paper box) are *constants*.  These
+tests pin them as explicit numeric assertions: any change anywhere in
+the stack that moves Experiment 1's abundance or Experiment 3's
+recall/precision fails here with the exact before/after values, which
+is the fastest possible "did this PR change the science?" signal —
+the ablation harness (:mod:`repro.ablation`) then tells you *which*
+component moved it.
+
+Integer counts are asserted with ``==``; the derived ratios with
+``pytest.approx`` at tight tolerance (they are exact quotients of the
+pinned integers, so this is belt and braces, not slack).
+"""
+
+import pytest
+
+from repro.figures.common import FigureConfig, study_for
+
+#: (expression → the pinned quick-scale, seed-0, paper_box numbers).
+GOLDEN = {
+    "chain4": {
+        "n_samples": 1173,
+        "n_anomalies": 6,
+        "abundance": 6 / 1173,
+        "n_regions": 5,
+        "n_cells": 739,
+        "tp": 619,
+        "fp": 2,
+        "fn": 1,
+        "tn": 117,
+        "recall": 619 / 620,
+        "precision": 619 / 621,
+    },
+    "aatb": {
+        "n_samples": 279,
+        "n_anomalies": 25,
+        "abundance": 25 / 279,
+        "n_regions": 5,
+        "n_cells": 788,
+        "tp": 689,
+        "fp": 1,
+        "fn": 75,
+        "tn": 23,
+        "recall": 689 / 764,
+        "precision": 689 / 690,
+    },
+    "gram3": {
+        "n_samples": 328,
+        "n_anomalies": 25,
+        "abundance": 25 / 328,
+        "n_regions": 5,
+        "n_cells": 677,
+        "tp": 610,
+        "fp": 0,
+        "fn": 28,
+        "tn": 39,
+        "recall": 610 / 638,
+        "precision": 1.0,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def studies():
+    config = FigureConfig(scale="quick", seed=0, box="paper_box")
+    return {name: study_for(config, name) for name in GOLDEN}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_search_abundance_pinned(studies, name):
+    study, golden = studies[name], GOLDEN[name]
+    assert study.search.n_samples == golden["n_samples"]
+    assert len(study.search.anomalies) == golden["n_anomalies"]
+    assert study.search.abundance == pytest.approx(
+        golden["abundance"], abs=1e-12
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_region_traversal_pinned(studies, name):
+    study, golden = studies[name], GOLDEN[name]
+    assert len(study.regions.regions) == golden["n_regions"]
+    assert len(study.regions.cells) == golden["n_cells"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_prediction_confusion_pinned(studies, name):
+    study, golden = studies[name], GOLDEN[name]
+    confusion = study.confusion
+    assert confusion.true_positive == golden["tp"]
+    assert confusion.false_positive == golden["fp"]
+    assert confusion.false_negative == golden["fn"]
+    assert confusion.true_negative == golden["tn"]
+    assert confusion.recall == pytest.approx(golden["recall"], abs=1e-12)
+    assert confusion.precision == pytest.approx(
+        golden["precision"], abs=1e-12
+    )
+
+
+def test_golden_counts_are_consistent():
+    """The pinned integers cross-check: confusion totals = cell counts.
+
+    Guards the table itself against a typo'd update — every confusion
+    quadrant sum must equal the pinned region cell count, because
+    Experiment 3 predicts exactly the traversed cells.
+    """
+    for name, golden in GOLDEN.items():
+        total = golden["tp"] + golden["fp"] + golden["fn"] + golden["tn"]
+        assert total == golden["n_cells"], name

@@ -436,6 +436,64 @@ def test_http_stats_carries_a_resilience_section(engine):
     assert resilience["faults"] == {}  # no active fault plan
 
 
+def test_http_stats_schema_end_to_end(engine):
+    """GET /stats exposes every subsystem's counters, typed.
+
+    The response is the service's observability contract: the
+    codegen, scheduler, resilience and ablation sections must all be
+    present with the right shapes — a dashboard (or the chaos drill)
+    reading one of these keys must never KeyError after a refactor.
+    """
+
+    async def run():
+        service = SelectionService(engine, port=0)
+        await service.start()
+        status, stats = await _request(service.port, "GET", "/stats")
+        await service.stop()
+        return status, stats
+
+    status, stats = asyncio.run(run())
+    assert status == 200
+
+    assert isinstance(stats["selections_served"], int)
+    engine_section = stats["engine"]
+    assert engine_section["scale"] in ("quick", "full")
+    assert isinstance(engine_section["seed"], int)
+    assert isinstance(engine_section["box"], str)
+    assert isinstance(engine_section["discriminants"], list)
+
+    codegen = stats["codegen"]
+    assert isinstance(codegen["enabled"], bool)
+    for counter in ("plans_compiled", "plan_cache_hits"):
+        assert isinstance(codegen[counter], int)
+
+    scheduler = stats["scheduler"]
+    assert isinstance(scheduler["enabled"], bool)
+    for counter in ("plans_scheduled", "fused_adds", "plans_reordered"):
+        assert isinstance(scheduler[counter], int)
+
+    ablation = stats["ablation"]
+    assert isinstance(ablation["components"], int)
+    assert ablation["components"] == len(ablation["component_names"])
+    assert all(isinstance(n, str) for n in ablation["component_names"])
+    assert set(ablation["inert_components"]) <= set(
+        ablation["component_names"]
+    )
+    assert isinstance(ablation["study_variants"], list)
+    assert "default" in ablation["study_variants"]
+    assert isinstance(ablation["detectors"], list)
+    assert isinstance(ablation["scheduler_enabled"], bool)
+    assert isinstance(ablation["codegen_enabled"], bool)
+
+    resilience = stats["resilience"]
+    assert isinstance(resilience["draining"], bool)
+    assert isinstance(resilience["shed"], int)
+
+    assert isinstance(stats["lru"]["capacity"], int)
+    assert "kind" in stats["store"]
+    assert isinstance(stats["requests"]["errors"], int)
+
+
 def test_engine_stats_surface_store_resilience_counters():
     class ResilientStore:
         kind = "remote"
